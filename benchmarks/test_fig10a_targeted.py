@@ -1,0 +1,107 @@
+"""Figure 10(a) — effectiveness of targeted query processing.
+
+Paper result: LifeStream's speedup over Trill on the end-to-end pipeline
+grows as the fraction of mutually overlapping ECG/ABP data shrinks — from
+about 7× at (near) full overlap to about 65× at 10% overlap — because
+targeted query processing skips the transforms whose outputs the join would
+discard while Trill eagerly processes everything.
+
+The reproduction sweeps the overlap fraction with the controlled-overlap
+generator and reports both the LifeStream-vs-Trill speedup and the
+targeted-vs-eager speedup on LifeStream itself (the pure ablation).
+"""
+
+import pytest
+
+from benchmarks.conftest import get_report, timed_benchmark
+from repro.bench.workloads import overlap_dataset
+from repro.pipelines.e2e import run_lifestream_e2e, run_trill_e2e
+
+#: Overlap fractions swept (1.0 = the two signals fully overlap).
+OVERLAPS = (1.0, 0.75, 0.5, 0.25, 0.1)
+#: Seconds of signal generated before trimming to the target overlap.
+DURATION_SECONDS = 360.0
+
+HEADERS = ["overlap", "engine/mode", "events", "seconds", "million events/s"]
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    prepared = {}
+    for overlap in OVERLAPS:
+        record = overlap_dataset(overlap, duration_seconds=DURATION_SECONDS, seed=int(overlap * 100))
+        prepared[overlap] = (
+            (record["ecg"].times, record["ecg"].values),
+            (record["abp"].times, record["abp"].values),
+        )
+    return prepared
+
+
+def _record(registry, key, benchmark, fn, events):
+    report = get_report(
+        registry, "fig10a_targeted", "Figure 10(a) — targeted query processing", HEADERS
+    )
+    seconds, _ = timed_benchmark(benchmark, fn)
+    report.record(key, [key[0], key[1], events, seconds, events / seconds / 1e6])
+
+
+@pytest.mark.parametrize("overlap", OVERLAPS)
+def test_targeted_lifestream(benchmark, report_registry, datasets, overlap):
+    ecg, abp = datasets[overlap]
+    events = ecg[0].size + abp[0].size
+    _record(
+        report_registry,
+        (overlap, "lifestream-targeted"),
+        benchmark,
+        lambda: run_lifestream_e2e(ecg, abp, targeted=True),
+        events,
+    )
+
+
+@pytest.mark.parametrize("overlap", OVERLAPS)
+def test_eager_lifestream(benchmark, report_registry, datasets, overlap):
+    ecg, abp = datasets[overlap]
+    events = ecg[0].size + abp[0].size
+    _record(
+        report_registry,
+        (overlap, "lifestream-eager"),
+        benchmark,
+        lambda: run_lifestream_e2e(ecg, abp, targeted=False),
+        events,
+    )
+
+
+@pytest.mark.parametrize("overlap", OVERLAPS)
+def test_trill_baseline(benchmark, report_registry, datasets, overlap):
+    ecg, abp = datasets[overlap]
+    events = ecg[0].size + abp[0].size
+    _record(
+        report_registry,
+        (overlap, "trill"),
+        benchmark,
+        lambda: run_trill_e2e(ecg, abp),
+        events,
+    )
+
+
+def test_speedup_grows_as_overlap_shrinks(benchmark, report_registry, datasets):
+    """The Figure 10(a) trend: less overlap ⇒ larger LifeStream advantage."""
+
+    def run():
+        speedups = {}
+        for overlap in (OVERLAPS[0], OVERLAPS[-1]):
+            ecg, abp = datasets[overlap]
+            lifestream = run_lifestream_e2e(ecg, abp, targeted=True)
+            trill = run_trill_e2e(ecg, abp)
+            speedups[overlap] = trill.elapsed_seconds / lifestream.elapsed_seconds
+        return speedups
+
+    _, speedups = timed_benchmark(benchmark, run)
+    assert speedups[OVERLAPS[-1]] > speedups[OVERLAPS[0]]
+    report = get_report(
+        report_registry, "fig10a_targeted", "Figure 10(a) — targeted query processing", HEADERS
+    )
+    report.note(
+        f"speedup over the Trill baseline grows from {speedups[OVERLAPS[0]]:.1f}x at "
+        f"{OVERLAPS[0]:.0%} overlap to {speedups[OVERLAPS[-1]]:.1f}x at {OVERLAPS[-1]:.0%} overlap"
+    )

@@ -1,0 +1,76 @@
+"""Figure 10(d) — multi-machine scaling of the end-to-end pipeline.
+
+Paper result: on 16 m5a.8xlarge machines (each running its best thread
+count from the multi-core study) LifeStream processes 473.66M events/s,
+8.38× more than Trill's peak and 1.73× more than NumLib's.
+
+Renting a 16-machine cluster is out of scope for this reproduction, so the
+cluster curves are produced by the documented cluster model
+(:mod:`repro.scaling.cluster`): per-machine peaks calibrated from measured
+single-worker throughput, scaled out with a small coordination overhead.
+The reproduced claims are the near-linear scaling of all three systems and
+LifeStream's advantage carrying through at 16 machines.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_report, timed_benchmark
+from repro.bench.workloads import scaling_cohort
+from repro.scaling import ClusterModel, measure_single_worker_throughput
+
+MACHINE_COUNTS = (1, 2, 4, 8, 12, 16)
+
+HEADERS = ["engine", "machines", "million events/s"]
+
+
+@pytest.fixture(scope="module")
+def single_worker_throughputs():
+    cohort = scaling_cohort(n_patients=1, duration_seconds=30.0, seed=3)
+    return {
+        engine: measure_single_worker_throughput(engine, cohort[0])
+        for engine in ("lifestream", "trill", "numlib")
+    }
+
+
+def _report(registry):
+    return get_report(
+        registry, "fig10d_cluster", "Figure 10(d) — multi-machine scaling (modelled curves)", HEADERS
+    )
+
+
+@pytest.mark.parametrize("engine", ["lifestream", "trill", "numlib"])
+def test_cluster_curve(benchmark, report_registry, single_worker_throughputs, engine):
+    base = single_worker_throughputs[engine]
+
+    def run():
+        return ClusterModel(engine, base).curve(list(MACHINE_COUNTS))
+
+    _, curve = timed_benchmark(benchmark, run)
+    report = _report(report_registry)
+    for point in curve.points:
+        report.record(
+            (engine, point.workers),
+            [engine, point.workers, point.throughput_events_per_second / 1e6],
+        )
+
+
+def test_cluster_claims_hold(benchmark, report_registry, single_worker_throughputs):
+    """LifeStream leads at 16 machines and every engine scales near-linearly."""
+
+    def run():
+        return {
+            engine: ClusterModel(engine, single_worker_throughputs[engine])
+            for engine in ("lifestream", "trill", "numlib")
+        }
+
+    _, models = timed_benchmark(benchmark, run)
+    at_16 = {name: model.throughput(16).throughput_events_per_second for name, model in models.items()}
+    assert at_16["lifestream"] > at_16["trill"]
+    assert at_16["lifestream"] > at_16["numlib"]
+    lifestream_1 = models["lifestream"].throughput(1).throughput_events_per_second
+    assert at_16["lifestream"] > 12 * lifestream_1
+    report = _report(report_registry)
+    report.note(
+        f"at 16 machines: LifeStream/Trill = {at_16['lifestream'] / at_16['trill']:.2f}x, "
+        f"LifeStream/NumLib = {at_16['lifestream'] / at_16['numlib']:.2f}x"
+    )

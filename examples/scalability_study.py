@@ -1,0 +1,81 @@
+"""Scalability study: data-parallel processing across patients and machines.
+
+Physiological pipelines parallelise naturally across patients (Section 8.6
+of the paper).  This example:
+
+1. measures real multi-process execution of the Figure 3 pipeline over a
+   small patient cohort (1 and 2 workers),
+2. calibrates the per-engine analytic scaling model with measured
+   single-worker throughput and prints the modelled 1–48 thread curves
+   (the Figure 10(c) reproduction), including the Trill out-of-memory point
+   and the NumLib saturation point,
+3. extends the model to a 16-machine cluster (the Figure 10(d) reproduction).
+
+Run with::
+
+    python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.data import make_cohort
+from repro.scaling import ClusterModel, ScalingModel, measure_single_worker_throughput, run_data_parallel
+
+ENGINES = ("lifestream", "trill", "numlib")
+THREADS = (1, 2, 4, 8, 12, 16, 24, 32)
+MACHINES = (1, 2, 4, 8, 16)
+
+
+def main() -> None:
+    cohort = make_cohort(4, duration_seconds=30.0, seed=0)
+    print(f"cohort: {len(cohort)} patients, {sum(p.total_events() for p in cohort)} events total")
+
+    # Real data-parallel execution for small worker counts.
+    print("\nmeasured data-parallel execution (LifeStream, Figure 3 pipeline):")
+    for workers in (1, 2):
+        point = run_data_parallel("lifestream", cohort, n_workers=workers)
+        print(f"  {workers} worker(s): {point.throughput_events_per_second / 1e6:.2f} M events/s")
+
+    # Calibrate the analytic model from single-worker throughput.
+    baselines = {
+        engine: measure_single_worker_throughput(engine, cohort[0]) for engine in ENGINES
+    }
+
+    rows = []
+    for engine in ENGINES:
+        model = ScalingModel.for_engine(engine, baselines[engine])
+        for point in model.curve(list(THREADS)).points:
+            rows.append(
+                [
+                    engine,
+                    point.workers,
+                    "OOM" if point.failed else f"{point.throughput_events_per_second / 1e6:.2f}",
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["engine", "threads", "million events/s"],
+            rows,
+            title="Modelled multi-core scaling (Figure 10(c))",
+        )
+    )
+
+    rows = []
+    for engine in ENGINES:
+        model = ClusterModel(engine, baselines[engine])
+        for point in model.curve(list(MACHINES)).points:
+            rows.append([engine, point.workers, point.throughput_events_per_second / 1e6])
+    print()
+    print(
+        format_table(
+            ["engine", "machines", "million events/s"],
+            rows,
+            title="Modelled multi-machine scaling (Figure 10(d))",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Compatibility shim so `pip install -e .` works on toolchains without the
+`wheel` package (the actual configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Baseline systems the paper compares LifeStream against.
+
+* :mod:`repro.baselines.trill` — a Trill-like single-machine streaming
+  engine (eager, batch-at-a-time, dynamic allocation, divergence-buffering
+  temporal join);
+* :mod:`repro.baselines.numlib` — hand-written NumPy/SciPy pipelines with a
+  pure-Python temporal join (the "NumLib" baseline);
+* :mod:`repro.baselines.microbatch` — distributed-style record-at-a-time
+  engines standing in for Spark Streaming, Storm and Flink (Table 1 only).
+"""
+
+from repro.baselines import microbatch, numlib, trill
+
+__all__ = ["trill", "numlib", "microbatch"]

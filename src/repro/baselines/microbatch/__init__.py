@@ -1,0 +1,21 @@
+"""Distributed-style micro-batch engines standing in for Spark/Storm/Flink."""
+
+from repro.baselines.microbatch.engines import (
+    ENGINE_CONFIGS,
+    FLINK_LIKE,
+    SPARK_LIKE,
+    STORM_LIKE,
+    MicroBatchConfig,
+    MicroBatchEngine,
+    MicroBatchRunStats,
+)
+
+__all__ = [
+    "MicroBatchEngine",
+    "MicroBatchConfig",
+    "MicroBatchRunStats",
+    "ENGINE_CONFIGS",
+    "SPARK_LIKE",
+    "STORM_LIKE",
+    "FLINK_LIKE",
+]

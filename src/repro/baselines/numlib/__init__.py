@@ -1,0 +1,27 @@
+"""NumLib baseline: hand-written NumPy/SciPy data-processing pipelines."""
+
+from repro.baselines.numlib.ops import (
+    design_fir_taps,
+    fill_const,
+    fill_mean,
+    normalize,
+    passfilter,
+    pure_python_inner_join,
+    resample,
+    vectorized_upsample_throughput_kernel,
+)
+from repro.baselines.numlib.pipeline import NumLibRunStats, run_e2e_pipeline, run_operation
+
+__all__ = [
+    "normalize",
+    "passfilter",
+    "design_fir_taps",
+    "fill_const",
+    "fill_mean",
+    "resample",
+    "pure_python_inner_join",
+    "vectorized_upsample_throughput_kernel",
+    "run_e2e_pipeline",
+    "run_operation",
+    "NumLibRunStats",
+]

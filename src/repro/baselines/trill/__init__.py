@@ -1,0 +1,43 @@
+"""Trill-like baseline engine (eager, batch-at-a-time, dynamic allocation)."""
+
+from repro.baselines.trill.batch import EventBatch, batches_from_arrays, concatenate_batches
+from repro.baselines.trill.engine import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_MEMORY_BUDGET,
+    TrillEngine,
+    TrillInput,
+    TrillRunStats,
+)
+from repro.baselines.trill.operators import (
+    TrillChop,
+    TrillClipJoin,
+    TrillJoin,
+    TrillOperator,
+    TrillResample,
+    TrillSelect,
+    TrillShift,
+    TrillTumblingAggregate,
+    TrillWhere,
+    TrillWindowTransform,
+)
+
+__all__ = [
+    "TrillEngine",
+    "TrillInput",
+    "TrillRunStats",
+    "EventBatch",
+    "batches_from_arrays",
+    "concatenate_batches",
+    "TrillOperator",
+    "TrillSelect",
+    "TrillWhere",
+    "TrillShift",
+    "TrillTumblingAggregate",
+    "TrillChop",
+    "TrillClipJoin",
+    "TrillResample",
+    "TrillWindowTransform",
+    "TrillJoin",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MEMORY_BUDGET",
+]

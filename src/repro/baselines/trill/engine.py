@@ -1,0 +1,218 @@
+"""The Trill-like baseline engine: eager, batch-at-a-time, push-based.
+
+The engine ingests its sources in fixed-size columnar batches ordered by
+event time and pushes every batch through the operator pipeline as soon as
+it arrives, regardless of whether a downstream join will keep the results.
+Join state is tracked against a configurable memory budget; exceeding it
+raises :class:`~repro.errors.TrillOutOfMemoryError`, reproducing the
+behaviour the paper observed when the two join inputs diverge (Section 8.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.trill.batch import EventBatch, batches_from_arrays, concatenate_batches
+from repro.baselines.trill.operators import TrillJoin, TrillOperator
+from repro.errors import TrillOutOfMemoryError
+
+#: Default per-query memory budget for buffered operator state (bytes).
+DEFAULT_MEMORY_BUDGET = 256 * 1024 * 1024
+#: Default ingestion batch size, in events.
+DEFAULT_BATCH_SIZE = 4096
+
+
+def _flush_chain(operators: list["TrillOperator"]) -> list[EventBatch]:
+    """Flush every operator and push its tail through the operators after it."""
+    outputs: list[EventBatch] = []
+    for index, operator in enumerate(operators):
+        pending = operator.flush()
+        for downstream in operators[index + 1 :]:
+            next_pending: list[EventBatch] = []
+            for item in pending:
+                next_pending.extend(downstream.process(item))
+            pending = next_pending
+        outputs.extend(pending)
+    return outputs
+
+
+@dataclass
+class TrillRunStats:
+    """Counters describing one Trill-baseline execution."""
+
+    elapsed_seconds: float = 0.0
+    events_ingested: int = 0
+    events_emitted: int = 0
+    batches_processed: int = 0
+    peak_state_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput_events_per_second(self) -> float:
+        """Ingested events per wall-clock second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.events_ingested / self.elapsed_seconds
+
+
+@dataclass(frozen=True)
+class TrillInput:
+    """One input stream handed to the engine: timestamp/value arrays plus period."""
+
+    times: np.ndarray
+    values: np.ndarray
+    period: int
+
+
+class TrillEngine:
+    """Eager batch-at-a-time streaming engine used as the paper's main baseline."""
+
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        tracer=None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = batch_size
+        self.memory_budget_bytes = memory_budget_bytes
+        self.tracer = tracer
+
+    # -- unary pipelines ------------------------------------------------------
+
+    def run_unary(
+        self,
+        source: TrillInput,
+        operators: list[TrillOperator],
+    ) -> tuple[np.ndarray, np.ndarray, TrillRunStats]:
+        """Push one input stream through a chain of unary operators."""
+        stats = TrillRunStats(events_ingested=int(np.asarray(source.times).size))
+        outputs: list[EventBatch] = []
+        began = time.perf_counter()
+        for batch in batches_from_arrays(
+            source.times, source.values, self.batch_size, source.period, tracer=self.tracer
+        ):
+            stats.batches_processed += 1
+            pending = [batch]
+            for operator in operators:
+                next_pending: list[EventBatch] = []
+                for item in pending:
+                    next_pending.extend(operator.process(item))
+                pending = next_pending
+            outputs.extend(pending)
+            self._check_budget(operators, None, stats)
+        outputs.extend(_flush_chain(operators))
+        stats.elapsed_seconds = time.perf_counter() - began
+        times, values = concatenate_batches(outputs)
+        stats.events_emitted = int(times.size)
+        return times, values, stats
+
+    # -- join pipelines ------------------------------------------------------------
+
+    def run_join(
+        self,
+        left: TrillInput,
+        right: TrillInput,
+        left_operators: list[TrillOperator],
+        right_operators: list[TrillOperator],
+        join: TrillJoin,
+        post_operators: list[TrillOperator] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, TrillRunStats]:
+        """Run two per-side pipelines feeding a temporal join (the Figure 3 shape).
+
+        Batches are ingested in global event-time order, which is how a
+        push-based engine sees interleaved live streams.  When one signal
+        has a long discontinuity, the other side keeps producing batches and
+        the join has to buffer them — the divergence that eventually
+        exhausts the memory budget.
+        """
+        post_operators = post_operators or []
+        stats = TrillRunStats(
+            events_ingested=int(np.asarray(left.times).size + np.asarray(right.times).size)
+        )
+        outputs: list[EventBatch] = []
+        began = time.perf_counter()
+
+        left_batches = list(
+            batches_from_arrays(left.times, left.values, self.batch_size, left.period, self.tracer)
+        )
+        right_batches = list(
+            batches_from_arrays(
+                right.times, right.values, self.batch_size, right.period, self.tracer
+            )
+        )
+
+        def run_side(batch: EventBatch, operators: list[TrillOperator]) -> list[EventBatch]:
+            pending = [batch]
+            for operator in operators:
+                next_pending: list[EventBatch] = []
+                for item in pending:
+                    next_pending.extend(operator.process(item))
+                pending = next_pending
+            return pending
+
+        def run_post(batches: list[EventBatch]) -> list[EventBatch]:
+            pending = batches
+            for operator in post_operators:
+                next_pending: list[EventBatch] = []
+                for item in pending:
+                    next_pending.extend(operator.process(item))
+                pending = next_pending
+            return pending
+
+        li, ri = 0, 0
+        while li < len(left_batches) or ri < len(right_batches):
+            take_left = ri >= len(right_batches) or (
+                li < len(left_batches)
+                and left_batches[li].sync_times[0] <= right_batches[ri].sync_times[0]
+            )
+            if take_left:
+                stats.batches_processed += 1
+                for transformed in run_side(left_batches[li], left_operators):
+                    outputs.extend(run_post(join.push_left(transformed)))
+                li += 1
+            else:
+                stats.batches_processed += 1
+                for transformed in run_side(right_batches[ri], right_operators):
+                    outputs.extend(run_post(join.push_right(transformed)))
+                ri += 1
+            self._check_budget(left_operators + right_operators, join, stats)
+
+        for tail in _flush_chain(left_operators):
+            outputs.extend(run_post(join.push_left(tail)))
+        for tail in _flush_chain(right_operators):
+            outputs.extend(run_post(join.push_right(tail)))
+        outputs.extend(run_post(join.finish()))
+        for operator in post_operators:
+            outputs.extend(operator.flush())
+
+        stats.elapsed_seconds = time.perf_counter() - began
+        stats.peak_state_bytes = max(stats.peak_state_bytes, join.peak_state_bytes)
+        times, values = concatenate_batches(outputs)
+        order = np.argsort(times, kind="stable")
+        stats.events_emitted = int(times.size)
+        return times[order], values[order], stats
+
+    # -- internal -------------------------------------------------------------------
+
+    def _check_budget(
+        self,
+        operators: list[TrillOperator],
+        join: TrillJoin | None,
+        stats: TrillRunStats,
+    ) -> None:
+        state = sum(op.state_bytes() for op in operators)
+        if join is not None:
+            state += join.state_bytes()
+        stats.peak_state_bytes = max(stats.peak_state_bytes, state)
+        if state > self.memory_budget_bytes:
+            raise TrillOutOfMemoryError(
+                f"Trill baseline exceeded its memory budget: buffered {state} bytes "
+                f"of operator/join state (budget {self.memory_budget_bytes} bytes). "
+                "This reproduces the divergence-driven out-of-memory behaviour "
+                "described in Section 8.3 of the paper."
+            )

@@ -1,0 +1,505 @@
+"""Push-based operators of the Trill-like baseline engine.
+
+Every operator consumes an :class:`~repro.baselines.trill.batch.EventBatch`
+and produces zero or more output batches, allocating the outputs afresh each
+time (dynamic allocation).  Execution is *eager*: an operator transforms
+every batch it receives immediately, whether or not a downstream join will
+keep the results — the behaviour that targeted query processing in
+LifeStream avoids (Section 5.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.trill.batch import EventBatch
+from repro.errors import TrillOutOfMemoryError
+
+
+class TrillOperator:
+    """Base class: unary, push-based, eager."""
+
+    def process(self, batch: EventBatch) -> list[EventBatch]:
+        """Transform one input batch into output batches."""
+        raise NotImplementedError
+
+    def flush(self) -> list[EventBatch]:
+        """Emit any events buffered internally at end of stream."""
+        return []
+
+    def state_bytes(self) -> int:
+        """Bytes of internal state currently buffered (for the memory budget)."""
+        return 0
+
+
+class TrillSelect(TrillOperator):
+    """Payload projection."""
+
+    def __init__(self, projection: Callable[[np.ndarray], np.ndarray], tracer=None):
+        self.projection = projection
+        self.tracer = tracer
+
+    def process(self, batch: EventBatch) -> list[EventBatch]:
+        if batch.is_empty():
+            return []
+        with np.errstate(all="ignore"):
+            values = self.projection(batch.values)
+        return [EventBatch(batch.sync_times, batch.durations, values, tracer=self.tracer)]
+
+
+class TrillWhere(TrillOperator):
+    """Payload predicate filter."""
+
+    def __init__(self, predicate: Callable[[np.ndarray], np.ndarray], tracer=None):
+        self.predicate = predicate
+        self.tracer = tracer
+
+    def process(self, batch: EventBatch) -> list[EventBatch]:
+        if batch.is_empty():
+            return []
+        with np.errstate(all="ignore"):
+            keep = np.asarray(self.predicate(batch.values), dtype=bool)
+        return [batch.select(keep, tracer=self.tracer)]
+
+
+class TrillShift(TrillOperator):
+    """Shift sync times by a constant."""
+
+    def __init__(self, offset: int, tracer=None):
+        self.offset = int(offset)
+        self.tracer = tracer
+
+    def process(self, batch: EventBatch) -> list[EventBatch]:
+        if batch.is_empty():
+            return []
+        return [
+            EventBatch(
+                batch.sync_times + self.offset, batch.durations, batch.values, tracer=self.tracer
+            )
+        ]
+
+
+class TrillTumblingAggregate(TrillOperator):
+    """Tumbling-window aggregate producing one event per window.
+
+    Events are grouped by ``sync_time // window``; because a window can span
+    batch boundaries the operator buffers the partial aggregate of the last
+    open window between batches.
+    """
+
+    def __init__(self, window: int, func: str = "mean", tracer=None):
+        self.window = int(window)
+        self.func = func
+        self.tracer = tracer
+        self._open_window: int | None = None
+        self._open_values: list[np.ndarray] = []
+
+    def _finalise(self, window_index: int, chunks: list[np.ndarray]) -> EventBatch:
+        values = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        if self.func == "mean":
+            result = float(values.mean())
+        elif self.func == "sum":
+            result = float(values.sum())
+        elif self.func == "max":
+            result = float(values.max())
+        elif self.func == "min":
+            result = float(values.min())
+        elif self.func == "std":
+            result = float(values.std())
+        elif self.func == "count":
+            result = float(values.size)
+        else:
+            raise ValueError(f"unknown aggregate {self.func!r}")
+        start = window_index * self.window
+        return EventBatch(
+            np.array([start], dtype=np.int64),
+            np.array([self.window], dtype=np.int64),
+            np.array([result], dtype=np.float64),
+            tracer=self.tracer,
+            label="aggregate",
+        )
+
+    def process(self, batch: EventBatch) -> list[EventBatch]:
+        if batch.is_empty():
+            return []
+        outputs: list[EventBatch] = []
+        window_ids = batch.sync_times // self.window
+        boundaries = np.flatnonzero(np.diff(window_ids)) + 1
+        segments = np.split(np.arange(len(batch)), boundaries)
+        for segment in segments:
+            if segment.size == 0:
+                continue
+            window_index = int(window_ids[segment[0]])
+            values = batch.values[segment]
+            if self._open_window is None or window_index == self._open_window:
+                self._open_window = window_index
+                self._open_values.append(values)
+            else:
+                outputs.append(self._finalise(self._open_window, self._open_values))
+                self._open_window = window_index
+                self._open_values = [values]
+        return outputs
+
+    def flush(self) -> list[EventBatch]:
+        if self._open_window is None:
+            return []
+        output = [self._finalise(self._open_window, self._open_values)]
+        self._open_window = None
+        self._open_values = []
+        return output
+
+    def state_bytes(self) -> int:
+        return sum(chunk.nbytes for chunk in self._open_values)
+
+
+class TrillChop(TrillOperator):
+    """Split long-duration events on period boundaries."""
+
+    def __init__(self, period: int, tracer=None):
+        self.period = int(period)
+        self.tracer = tracer
+
+    def process(self, batch: EventBatch) -> list[EventBatch]:
+        if batch.is_empty():
+            return []
+        out_times: list[int] = []
+        out_durations: list[int] = []
+        out_values: list[float] = []
+        period = self.period
+        # Row-at-a-time expansion, as a generic engine without the
+        # periodicity assumption has to do.
+        for sync, duration, value in zip(
+            batch.sync_times.tolist(), batch.durations.tolist(), batch.values.tolist()
+        ):
+            position = sync
+            end = sync + duration
+            while position < end:
+                boundary = ((position // period) + 1) * period
+                segment_end = min(boundary, end)
+                out_times.append(position)
+                out_durations.append(segment_end - position)
+                out_values.append(value)
+                position = segment_end
+        return [
+            EventBatch(
+                np.asarray(out_times, dtype=np.int64),
+                np.asarray(out_durations, dtype=np.int64),
+                np.asarray(out_values, dtype=np.float64),
+                tracer=self.tracer,
+                label="chop",
+            )
+        ]
+
+
+class TrillResample(TrillOperator):
+    """Up/down-sample a signal onto a new period using linear interpolation."""
+
+    def __init__(self, new_period: int, tracer=None):
+        self.new_period = int(new_period)
+        self.tracer = tracer
+
+    def process(self, batch: EventBatch) -> list[EventBatch]:
+        if batch.is_empty():
+            return []
+        start, end = batch.time_span()
+        new_times = np.arange(start, end, self.new_period, dtype=np.int64)
+        if new_times.size == 0:
+            return []
+        new_values = np.interp(new_times, batch.sync_times, batch.values)
+        return [
+            EventBatch(
+                new_times,
+                np.full(new_times.size, self.new_period, dtype=np.int64),
+                new_values,
+                tracer=self.tracer,
+                label="resample",
+            )
+        ]
+
+
+class TrillWindowTransform(TrillOperator):
+    """Apply a user function to fixed windows of events (Trill's user-defined operators).
+
+    The function receives ``(sync_times, values)`` for one window and returns
+    new values (same length).  Used to express the Table 3 operations
+    (Normalize, PassFilter, FillConst, FillMean) in the baseline.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        function: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]],
+        tracer=None,
+    ):
+        self.window = int(window)
+        self.function = function
+        self.tracer = tracer
+        self._pending_times: list[np.ndarray] = []
+        self._pending_values: list[np.ndarray] = []
+        self._open_window: int | None = None
+
+    def _finalise(self) -> list[EventBatch]:
+        if self._open_window is None:
+            return []
+        times = np.concatenate(self._pending_times)
+        values = np.concatenate(self._pending_values)
+        with np.errstate(all="ignore"):
+            new_times, new_values = self.function(times, values)
+        self._pending_times = []
+        self._pending_values = []
+        self._open_window = None
+        return [
+            EventBatch(
+                np.asarray(new_times, dtype=np.int64),
+                np.full(np.asarray(new_times).size, 0, dtype=np.int64) + self._duration_for(new_times),
+                np.asarray(new_values, dtype=np.float64),
+                tracer=self.tracer,
+                label="transform",
+            )
+        ]
+
+    @staticmethod
+    def _duration_for(times: np.ndarray) -> int:
+        times = np.asarray(times)
+        if times.size >= 2:
+            return int(np.min(np.diff(times)))
+        return 1
+
+    def process(self, batch: EventBatch) -> list[EventBatch]:
+        if batch.is_empty():
+            return []
+        outputs: list[EventBatch] = []
+        window_ids = batch.sync_times // self.window
+        boundaries = np.flatnonzero(np.diff(window_ids)) + 1
+        segments = np.split(np.arange(len(batch)), boundaries)
+        for segment in segments:
+            if segment.size == 0:
+                continue
+            window_index = int(window_ids[segment[0]])
+            if self._open_window is not None and window_index != self._open_window:
+                outputs.extend(self._finalise())
+            self._open_window = window_index
+            self._pending_times.append(batch.sync_times[segment])
+            self._pending_values.append(batch.values[segment])
+        return outputs
+
+    def flush(self) -> list[EventBatch]:
+        return self._finalise()
+
+    def state_bytes(self) -> int:
+        return sum(chunk.nbytes for chunk in self._pending_times) + sum(
+            chunk.nbytes for chunk in self._pending_values
+        )
+
+
+class TrillJoin:
+    """Temporal inner join with per-side buffering.
+
+    The operator buffers events from both sides and, whenever new data
+    arrives, matches everything up to the minimum watermark of the two
+    sides.  When the two input streams diverge — one side's event time runs
+    far ahead of the other's, which happens constantly on discontinuous
+    physiological data — the faster side's buffer keeps growing.  The engine
+    checks this state against a memory budget and raises
+    :class:`~repro.errors.TrillOutOfMemoryError` when it is exceeded,
+    reproducing the out-of-memory behaviour reported in Section 8.3.
+    """
+
+    def __init__(
+        self,
+        combine: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        tracer=None,
+    ):
+        self.combine = combine if combine is not None else (lambda left, right: left)
+        self.tracer = tracer
+        self._left_times: list[np.ndarray] = []
+        self._left_durations: list[np.ndarray] = []
+        self._left_values: list[np.ndarray] = []
+        self._right_times: list[np.ndarray] = []
+        self._right_durations: list[np.ndarray] = []
+        self._right_values: list[np.ndarray] = []
+        self._left_watermark = -np.inf
+        self._right_watermark = -np.inf
+        #: Peak bytes buffered across both sides (reported by the benchmarks).
+        self.peak_state_bytes = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    def push_left(self, batch: EventBatch) -> list[EventBatch]:
+        """Ingest a batch on the left side and match what has become safe."""
+        if not batch.is_empty():
+            self._left_times.append(batch.sync_times)
+            self._left_durations.append(batch.durations)
+            self._left_values.append(batch.values)
+            self._left_watermark = float(batch.time_span()[1])
+        return self._match()
+
+    def push_right(self, batch: EventBatch) -> list[EventBatch]:
+        """Ingest a batch on the right side and match what has become safe."""
+        if not batch.is_empty():
+            self._right_times.append(batch.sync_times)
+            self._right_durations.append(batch.durations)
+            self._right_values.append(batch.values)
+            self._right_watermark = float(batch.time_span()[1])
+        return self._match()
+
+    def finish(self) -> list[EventBatch]:
+        """Match everything that remains at end of stream."""
+        self._left_watermark = np.inf
+        self._right_watermark = np.inf
+        return self._match()
+
+    # -- state accounting ---------------------------------------------------
+
+    def state_bytes(self) -> int:
+        total = 0
+        for chunks in (
+            self._left_times,
+            self._left_durations,
+            self._left_values,
+            self._right_times,
+            self._right_durations,
+            self._right_values,
+        ):
+            total += sum(chunk.nbytes for chunk in chunks)
+        return total
+
+    # -- matching ------------------------------------------------------------
+
+    def _consolidate(self, side: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        times_list = getattr(self, f"_{side}_times")
+        durations_list = getattr(self, f"_{side}_durations")
+        values_list = getattr(self, f"_{side}_values")
+        if not times_list:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, empty_i, np.empty(0, dtype=np.float64)
+        times = np.concatenate(times_list)
+        durations = np.concatenate(durations_list)
+        values = np.concatenate(values_list)
+        setattr(self, f"_{side}_times", [times])
+        setattr(self, f"_{side}_durations", [durations])
+        setattr(self, f"_{side}_values", [values])
+        return times, durations, values
+
+    def _match(self) -> list[EventBatch]:
+        self.peak_state_bytes = max(self.peak_state_bytes, self.state_bytes())
+        watermark = min(self._left_watermark, self._right_watermark)
+        if not np.isfinite(watermark) and watermark != np.inf:
+            return []
+        left_times, left_durations, left_values = self._consolidate("left")
+        right_times, right_durations, right_values = self._consolidate("right")
+        if left_times.size == 0 or right_times.size == 0:
+            return []
+
+        matchable = left_times < watermark
+        if not matchable.any():
+            return []
+        lt = left_times[matchable]
+        ld = left_durations[matchable]
+        lv = left_values[matchable]
+
+        # Find, for every left event, the right event active at its sync time.
+        indices = np.searchsorted(right_times, lt, side="right") - 1
+        clipped = np.clip(indices, 0, right_times.size - 1)
+        active = (indices >= 0) & (right_times[clipped] + right_durations[clipped] > lt)
+        with np.errstate(all="ignore"):
+            combined = self.combine(lv[active], right_values[clipped][active])
+        output = EventBatch(
+            lt[active],
+            ld[active],
+            np.asarray(combined, dtype=np.float64),
+            tracer=self.tracer,
+            label="join",
+        )
+
+        # Retire matched left events; keep right events that may still match
+        # future left events (their end time is beyond the watermark).
+        keep_left = ~matchable
+        self._left_times = [left_times[keep_left]]
+        self._left_durations = [left_durations[keep_left]]
+        self._left_values = [left_values[keep_left]]
+        keep_right = right_times + right_durations > watermark
+        self._right_times = [right_times[keep_right]]
+        self._right_durations = [right_durations[keep_right]]
+        self._right_values = [right_values[keep_right]]
+        return [output] if len(output) else []
+
+
+class TrillClipJoin:
+    """Join each left event with the immediately succeeding right event.
+
+    Keeps the same push interface as :class:`TrillJoin` (``push_left`` /
+    ``push_right`` / ``finish``) so the engine can drive it through
+    ``run_join``.  Left events are buffered until a right event with a later
+    sync time arrives.
+    """
+
+    def __init__(self, combine=None, tracer=None):
+        self.combine = combine if combine is not None else (lambda left, right: left)
+        self.tracer = tracer
+        self._left_times: list[np.ndarray] = []
+        self._left_values: list[np.ndarray] = []
+        self._right_times: list[np.ndarray] = []
+        self._right_values: list[np.ndarray] = []
+        self.peak_state_bytes = 0
+
+    def state_bytes(self) -> int:
+        total = 0
+        for chunks in (self._left_times, self._left_values, self._right_times, self._right_values):
+            total += sum(chunk.nbytes for chunk in chunks)
+        return total
+
+    def push_left(self, batch: EventBatch) -> list[EventBatch]:
+        if not batch.is_empty():
+            self._left_times.append(batch.sync_times)
+            self._left_values.append(batch.values)
+        return self._match(final=False)
+
+    def push_right(self, batch: EventBatch) -> list[EventBatch]:
+        if not batch.is_empty():
+            self._right_times.append(batch.sync_times)
+            self._right_values.append(batch.values)
+        return self._match(final=False)
+
+    def finish(self) -> list[EventBatch]:
+        return self._match(final=True)
+
+    def _match(self, final: bool) -> list[EventBatch]:
+        self.peak_state_bytes = max(self.peak_state_bytes, self.state_bytes())
+        if not self._left_times or not self._right_times:
+            return []
+        left_times = np.concatenate(self._left_times)
+        left_values = np.concatenate(self._left_values)
+        right_times = np.concatenate(self._right_times)
+        right_values = np.concatenate(self._right_values)
+
+        successor = np.searchsorted(right_times, left_times, side="left")
+        resolvable = successor < right_times.size
+        if not final:
+            # A left event can only be resolved once we are sure no earlier
+            # successor can still arrive, i.e. its time is before the latest
+            # right time seen so far.
+            resolvable &= left_times < right_times[-1]
+        if not resolvable.any():
+            self._left_times = [left_times]
+            self._left_values = [left_values]
+            self._right_times = [right_times]
+            self._right_values = [right_values]
+            return []
+        matched_successor = np.clip(successor[resolvable], 0, right_times.size - 1)
+        with np.errstate(all="ignore"):
+            combined = self.combine(left_values[resolvable], right_values[matched_successor])
+        output = EventBatch(
+            left_times[resolvable],
+            np.full(int(resolvable.sum()), 1, dtype=np.int64),
+            np.asarray(combined, dtype=np.float64),
+            tracer=self.tracer,
+            label="clipjoin",
+        )
+        self._left_times = [left_times[~resolvable]]
+        self._left_values = [left_values[~resolvable]]
+        self._right_times = [right_times]
+        self._right_values = [right_values]
+        return [output]

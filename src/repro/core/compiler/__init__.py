@@ -1,0 +1,130 @@
+"""Query compilation: spec → plan graph → dimensions → buffers → coverage.
+
+``build_plan`` turns the declarative :class:`~repro.core.query.Query` spec
+into a graph of plan nodes, binding named sources to concrete
+:class:`~repro.core.sources.StreamSource` objects.  ``compile_plan`` then
+runs the three compile-time passes of the paper in order:
+
+1. locality tracing (:mod:`repro.core.compiler.locality`),
+2. static memory allocation (:mod:`repro.core.compiler.memory`),
+3. coverage propagation for targeted query processing
+   (:mod:`repro.core.compiler.lineage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler.lineage import (
+    backward_time_map,
+    forward_time_map,
+    propagate_coverage,
+    redundant_source_coverage,
+    trace_output_to_source,
+)
+from repro.core.compiler.locality import assign_dimensions, trace_dimensions, uniform_dimension
+from repro.core.compiler.memory import MemoryPlan, allocate, estimate_footprint
+from repro.core.graph import OperatorNode, PlanNode, SourceNode
+from repro.core.intervals import IntervalSet
+from repro.core.query import Query, QuerySpec
+from repro.core.sources import StreamSource
+from repro.core.timeutil import TICKS_PER_MINUTE
+from repro.errors import CompilationError, QueryConstructionError
+
+__all__ = [
+    "build_plan",
+    "compile_plan",
+    "CompiledPlan",
+    "MemoryPlan",
+    "assign_dimensions",
+    "trace_dimensions",
+    "uniform_dimension",
+    "allocate",
+    "estimate_footprint",
+    "propagate_coverage",
+    "forward_time_map",
+    "backward_time_map",
+    "trace_output_to_source",
+    "redundant_source_coverage",
+]
+
+
+def build_plan(query: Query, sources: dict[str, StreamSource] | None = None) -> PlanNode:
+    """Instantiate the plan graph for *query*, binding its named sources.
+
+    Spec nodes shared via ``Multicast`` become a single shared plan node, so
+    the resulting structure is a DAG, not a tree.
+    """
+    sources = sources or {}
+    memo: dict[int, PlanNode] = {}
+
+    def build(spec: QuerySpec) -> PlanNode:
+        existing = memo.get(id(spec))
+        if existing is not None:
+            return existing
+        if spec.kind == "source":
+            source = spec.bound_source
+            if source is None:
+                if spec.source_name not in sources:
+                    raise QueryConstructionError(
+                        f"query references source {spec.source_name!r} but no such "
+                        f"source was provided (available: {sorted(sources)})"
+                    )
+                source = sources[spec.source_name]
+            declared = spec.declared_descriptor
+            if declared is not None and declared.period != source.descriptor.period:
+                raise QueryConstructionError(
+                    f"source {spec.source_name!r} was declared with period "
+                    f"{declared.period} but the bound source has period "
+                    f"{source.descriptor.period}"
+                )
+            node: PlanNode = SourceNode(spec.name, source)
+        elif spec.kind == "operator":
+            inputs = [build(child) for child in spec.inputs]
+            node = OperatorNode(spec.name, spec.operator, inputs)
+        else:  # pragma: no cover - defensive
+            raise CompilationError(f"unknown spec kind {spec.kind!r}")
+        memo[id(spec)] = node
+        return node
+
+    return build(query.spec)
+
+
+@dataclass
+class CompiledPlan:
+    """The result of compiling a query: an executable plan plus its metadata."""
+
+    sink: PlanNode
+    window_size: int
+    memory_plan: MemoryPlan
+    output_coverage: IntervalSet
+
+    def explain(self) -> str:
+        """Human-readable plan dump in the paper's ``(offset,period)[dim]`` notation."""
+        from repro.core.graph import describe_plan
+
+        header = (
+            f"window size: {self.window_size} ticks, "
+            f"pre-allocated: {self.memory_plan.total_bytes} bytes, "
+            f"output coverage: {self.output_coverage.total_length()} ticks"
+        )
+        return header + "\n" + describe_plan(self.sink)
+
+
+def compile_plan(
+    query: Query,
+    sources: dict[str, StreamSource] | None = None,
+    window_size: int = TICKS_PER_MINUTE,
+    tracer=None,
+) -> CompiledPlan:
+    """Compile *query* into an executable :class:`CompiledPlan`."""
+    sink = build_plan(query, sources)
+    assign_dimensions(sink, window_size)
+    memory_plan = allocate(sink, tracer=tracer)
+    coverage = propagate_coverage(sink)
+    return CompiledPlan(
+        sink=sink,
+        window_size=window_size,
+        memory_plan=memory_plan,
+        output_coverage=coverage,
+    )

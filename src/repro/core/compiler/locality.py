@@ -1,0 +1,131 @@
+"""Locality tracing (Section 5.2 of the paper).
+
+Locality tracing is a static analysis over the computation graph that
+adjusts the dimension of every FWindow so that the input and output
+dimensions of every operator match.  When they do, each intermediate result
+is consumed immediately by the next operator while it is still resident in
+cache, which is what gives LifeStream its end-to-end cache locality.
+
+The procedure mirrors Figure 6 of the paper: every dimension starts at the
+stream's period and the analysis repeatedly reconciles mismatched operator
+inputs/outputs by raising dimensions to least common multiples until the
+graph reaches a fixed point.  Because every constraint is of the form
+"dimension must be a multiple of X", the iteration converges (dimensions
+only ever grow, bounded by the LCM of all constraints).
+
+After convergence the dimensions are scaled up uniformly so that the
+largest FWindow covers at least the user-requested window size (the paper
+uses one minute), which amortises per-window bookkeeping over a large batch
+without breaking any alignment constraint.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import OperatorNode, PlanNode, SourceNode, topological_order
+from repro.core.timeutil import lcm
+from repro.errors import LocalityTracingError
+
+#: Safety valve: if the fix-point has not converged after this many sweeps the
+#: query almost certainly contains inconsistent period constraints.
+_MAX_SWEEPS = 64
+
+
+def trace_dimensions(sink: PlanNode, window_size: int) -> dict[int, int]:
+    """Compute a consistent FWindow dimension for every node of the plan.
+
+    Returns a mapping from ``id(node)`` to the dimension (in ticks) assigned
+    to that node's FWindow.  Raises :class:`LocalityTracingError` when the
+    constraints cannot be satisfied.
+    """
+    if window_size <= 0:
+        raise LocalityTracingError(f"window size must be positive, got {window_size}")
+
+    nodes = topological_order(sink)
+    dims: dict[int, int] = {}
+
+    # Step 1: seed every dimension with the stream period plus the operator's
+    # own constraint (aggregation window, chop period, transform window, ...).
+    for node in nodes:
+        constraint = node.descriptor.period
+        if isinstance(node, OperatorNode):
+            input_descriptors = [inp.descriptor for inp in node.inputs]
+            constraint = lcm(constraint, node.operator.dimension_constraint(input_descriptors))
+        dims[id(node)] = constraint
+
+    # Step 2: reconcile operator input/output dimensions until stable.  Every
+    # operator in the engine consumes and produces FWindows positioned at the
+    # same sync time, so the consistency requirement is that a node's
+    # dimension is a common multiple of its own constraint and its inputs'.
+    for _ in range(_MAX_SWEEPS):
+        changed = False
+        for node in nodes:
+            if not isinstance(node, OperatorNode):
+                continue
+            current = dims[id(node)]
+            merged = current
+            for inp in node.inputs:
+                merged = lcm(merged, dims[id(inp)])
+            if merged != current:
+                dims[id(node)] = merged
+                changed = True
+            for inp in node.inputs:
+                required = node.operator.required_input_dimension(merged, node.inputs.index(inp))
+                reconciled = lcm(dims[id(inp)], required)
+                if reconciled != dims[id(inp)]:
+                    dims[id(inp)] = reconciled
+                    changed = True
+        if not changed:
+            break
+    else:
+        raise LocalityTracingError(
+            "locality tracing did not converge; the query mixes incompatible "
+            "periods or window parameters"
+        )
+
+    # Step 3: verify consistency (defence in depth — the fix-point should
+    # already guarantee this).
+    for node in nodes:
+        if node.descriptor.period and dims[id(node)] % node.descriptor.period != 0:
+            raise LocalityTracingError(
+                f"node {node.name} was assigned dimension {dims[id(node)]} which is "
+                f"not a multiple of its period {node.descriptor.period}"
+            )
+
+    # Step 4: scale up to the requested window size.  Multiplying every
+    # dimension by the same integer preserves all multiple-of constraints.
+    largest = max(dims.values())
+    if largest < window_size:
+        factor = -(-window_size // largest)  # ceil division
+        for key in dims:
+            dims[key] *= factor
+    return dims
+
+
+def assign_dimensions(sink: PlanNode, window_size: int) -> dict[int, int]:
+    """Run :func:`trace_dimensions` and store the result on each plan node."""
+    dims = trace_dimensions(sink, window_size)
+    for node in topological_order(sink):
+        node.dimension = dims[id(node)]
+    return dims
+
+
+def uniform_dimension(sink: PlanNode) -> int:
+    """Return the single dimension shared by the whole plan.
+
+    After locality tracing all nodes of a connected query share one
+    dimension (the Figure 6 end state); this helper asserts that and returns
+    it, which the executor uses as its window-iteration step.
+    """
+    dims = {node.dimension for node in topological_order(sink)}
+    if len(dims) != 1 or None in dims:
+        raise LocalityTracingError(f"plan does not have a uniform dimension: {dims}")
+    return dims.pop()
+
+
+def describe_trace(sink: PlanNode) -> list[str]:
+    """Human-readable trace of the assigned dimensions, for plan explanation."""
+    lines = []
+    for node in topological_order(sink):
+        kind = "source" if isinstance(node, SourceNode) else "operator"
+        lines.append(f"{node.name:<24} {kind:<8} {node.descriptor}[{node.dimension}]")
+    return lines

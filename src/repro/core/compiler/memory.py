@@ -1,0 +1,82 @@
+"""Static memory allocation (Section 5.2 of the paper).
+
+Once locality tracing has fixed every FWindow dimension, the bounded-memory
+property of periodic streams (at most ``dimension / period`` events per
+window) makes the memory footprint of the whole plan statically computable.
+The planner allocates every FWindow buffer exactly once, before execution
+starts; the runtime then reuses those buffers for every window it slides
+through, eliminating allocation and deallocation overhead on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fwindow import FWindow
+from repro.core.graph import OperatorNode, PlanNode, topological_order
+from repro.errors import MemoryPlanError
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Summary of the buffers pre-allocated for a compiled plan."""
+
+    #: Number of FWindows allocated (one per plan node).
+    fwindow_count: int
+    #: Total bytes across all FWindow buffers.
+    total_bytes: int
+    #: Largest single FWindow, in bytes.
+    largest_fwindow_bytes: int
+    #: Per-node breakdown: node name -> bytes.
+    per_node_bytes: dict[str, int]
+
+    def __str__(self) -> str:
+        return (
+            f"MemoryPlan({self.fwindow_count} FWindows, "
+            f"{self.total_bytes / 1024:.1f} KiB total)"
+        )
+
+
+def estimate_footprint(sink: PlanNode) -> int:
+    """Upper bound (in bytes) of the plan's intermediate-result memory.
+
+    Uses the bounded-memory property only — it can be called before the
+    buffers are allocated, as long as locality tracing has run.
+    """
+    total = 0
+    for node in topological_order(sink):
+        if node.dimension is None:
+            raise MemoryPlanError(
+                f"node {node.name} has no dimension; run locality tracing first"
+            )
+        capacity = node.dimension // node.descriptor.period
+        # values (float64) + durations (int64) + bitvector (bool)
+        total += capacity * (8 + 8 + 1)
+    return total
+
+
+def allocate(sink: PlanNode, tracer=None) -> MemoryPlan:
+    """Allocate every FWindow and operator state for the plan rooted at *sink*."""
+    per_node: dict[str, int] = {}
+    for node in topological_order(sink):
+        if node.dimension is None:
+            raise MemoryPlanError(
+                f"node {node.name} has no dimension; run locality tracing first"
+            )
+        node.fwindow = FWindow(
+            node.descriptor,
+            node.dimension,
+            name=node.name,
+            tracer=tracer,
+        )
+        if isinstance(node, OperatorNode):
+            node.state = node.operator.make_state()
+        per_node[node.name] = node.fwindow.memory_bytes()
+    total = sum(per_node.values())
+    largest = max(per_node.values()) if per_node else 0
+    return MemoryPlan(
+        fwindow_count=len(per_node),
+        total_bytes=total,
+        largest_fwindow_bytes=largest,
+        per_node_bytes=per_node,
+    )

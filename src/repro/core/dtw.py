@@ -1,0 +1,133 @@
+"""Constrained dynamic time warping (DTW) for shape-based queries.
+
+LifeStream extends the ``Where`` operator so that users can query *visual
+patterns* in a signal stream (Section 6.1 of the paper): the user supplies a
+representative shape as a list of signal values (for example the "line-zero"
+artifact in arterial blood pressure, Figure 7) and the engine finds stream
+regions whose DTW distance to that shape is small.
+
+The paper uses a constrained variant of DTW (a Sakoe-Chiba band) re-purposed
+for the streaming setting so that the distance for each candidate window is
+computed in linear time in the window length.  This module implements:
+
+* :func:`constrained_dtw` — banded DTW distance between two sequences,
+* :func:`dtw_profile` — the distance of every sliding window of a long
+  signal against a query shape (the streaming building block used by the
+  ``ShapeWhere`` operator),
+* :func:`match_shape` — convenience wrapper returning the matched regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _band_width(n: int, m: int, band_fraction: float) -> int:
+    """Half-width of the Sakoe-Chiba band for sequences of length *n* and *m*."""
+    base = max(abs(n - m), 1)
+    return int(max(base, round(band_fraction * max(n, m))))
+
+
+def constrained_dtw(
+    sequence: np.ndarray,
+    shape: np.ndarray,
+    band_fraction: float = 0.1,
+    normalize: bool = True,
+) -> float:
+    """Banded (Sakoe-Chiba) DTW distance between *sequence* and *shape*.
+
+    The band constrains the warping path to stay within ``band_fraction`` of
+    the diagonal, which bounds the work to ``O(len * band)`` instead of the
+    quadratic cost of unconstrained DTW.  With ``normalize=True`` the
+    returned distance is divided by the path length so that distances are
+    comparable across shapes of different lengths.
+    """
+    a = np.asarray(sequence, dtype=np.float64)
+    b = np.asarray(shape, dtype=np.float64)
+    n, m = a.size, b.size
+    if n == 0 or m == 0:
+        return float("inf")
+    band = _band_width(n, m, band_fraction)
+    inf = np.inf
+    # cost[j] holds the running DTW cost for shape index j of the previous row.
+    prev = np.full(m + 1, inf)
+    prev[0] = 0.0
+    current = np.full(m + 1, inf)
+    for i in range(1, n + 1):
+        current[:] = inf
+        center = int(round(i * m / n))
+        j_lo = max(1, center - band)
+        j_hi = min(m, center + band)
+        ai = a[i - 1]
+        costs = np.abs(ai - b[j_lo - 1 : j_hi])
+        for j, cost in zip(range(j_lo, j_hi + 1), costs):
+            best = prev[j]
+            if prev[j - 1] < best:
+                best = prev[j - 1]
+            if current[j - 1] < best:
+                best = current[j - 1]
+            current[j] = cost + best
+        prev, current = current, prev
+    distance = float(prev[m])
+    if not np.isfinite(distance):
+        return float("inf")
+    if normalize:
+        distance /= n + m
+    return distance
+
+
+def dtw_profile(
+    signal: np.ndarray,
+    shape: np.ndarray,
+    stride: int | None = None,
+    band_fraction: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """DTW distance of every candidate window of *signal* against *shape*.
+
+    Returns ``(starts, distances)`` where ``starts[i]`` is the index of the
+    candidate window in *signal* and ``distances[i]`` its normalised banded
+    DTW distance.  Candidate windows have the same length as *shape* and are
+    spaced ``stride`` samples apart (default: a quarter of the shape length,
+    which is dense enough to never miss an artifact while keeping the
+    streaming cost linear).
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    shape = np.asarray(shape, dtype=np.float64)
+    m = shape.size
+    if m == 0 or signal.size < m:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    if stride is None:
+        stride = max(1, m // 4)
+    starts = np.arange(0, signal.size - m + 1, stride, dtype=np.int64)
+    distances = np.empty(starts.size, dtype=np.float64)
+    for k, start in enumerate(starts):
+        window = signal[start : start + m]
+        distances[k] = constrained_dtw(window, shape, band_fraction=band_fraction)
+    return starts, distances
+
+
+def match_shape(
+    signal: np.ndarray,
+    shape: np.ndarray,
+    threshold: float,
+    stride: int | None = None,
+    band_fraction: float = 0.1,
+) -> list[tuple[int, int]]:
+    """Return ``[start, end)`` index regions of *signal* that match *shape*.
+
+    A region matches when its normalised banded DTW distance to *shape* is
+    at most *threshold*.  Overlapping matched windows are merged into a
+    single region.
+    """
+    starts, distances = dtw_profile(signal, shape, stride=stride, band_fraction=band_fraction)
+    m = np.asarray(shape).size
+    regions: list[tuple[int, int]] = []
+    for start, distance in zip(starts.tolist(), distances.tolist()):
+        if distance > threshold:
+            continue
+        end = start + m
+        if regions and start <= regions[-1][1]:
+            regions[-1] = (regions[-1][0], max(regions[-1][1], end))
+        else:
+            regions.append((start, end))
+    return regions

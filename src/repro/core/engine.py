@@ -1,0 +1,104 @@
+"""The LifeStream engine facade.
+
+:class:`LifeStreamEngine` is the main entry point of the library: it owns
+the compile-time configuration (window size, targeted execution, optional
+cache tracer), compiles queries into :class:`CompiledQuery` objects, and
+runs them against concrete stream sources.
+
+Typical use::
+
+    from repro import LifeStreamEngine, Query
+    from repro.core.sources import ArraySource
+
+    ecg = ArraySource(times, values, period=2)          # 500 Hz
+    query = Query.source("ecg", frequency_hz=500).tumbling_window(1000).mean()
+
+    engine = LifeStreamEngine()
+    result = engine.run(query, sources={"ecg": ecg})
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import CompiledPlan, compile_plan
+from repro.core.query import Query
+from repro.core.runtime.executor import execute_plan
+from repro.core.runtime.result import StreamResult
+from repro.core.sources import StreamSource
+from repro.core.timeutil import TICKS_PER_MINUTE
+from repro.errors import ExecutionError
+
+
+class CompiledQuery:
+    """A query compiled against concrete sources, ready to execute repeatedly."""
+
+    def __init__(self, plan: CompiledPlan, targeted: bool) -> None:
+        self._plan = plan
+        self._targeted = targeted
+        self.last_stats = None
+
+    @property
+    def plan(self) -> CompiledPlan:
+        """The underlying compiled plan (graph, dimensions, buffers, coverage)."""
+        return self._plan
+
+    @property
+    def window_size(self) -> int:
+        """The FWindow size (in ticks) the plan was compiled for."""
+        return self._plan.window_size
+
+    def explain(self) -> str:
+        """Human-readable plan dump (dimensions, coverage, memory)."""
+        return self._plan.explain()
+
+    def run(self, targeted: bool | None = None, collect: bool = True) -> StreamResult:
+        """Execute the plan and return the output stream.
+
+        ``targeted`` overrides the engine-level setting for this run, which
+        is how the ablation benchmarks compare targeted against eager
+        processing on the same compiled plan.
+        """
+        use_targeted = self._targeted if targeted is None else targeted
+        result = execute_plan(self._plan, targeted=use_targeted, collect=collect)
+        self.last_stats = result.stats
+        return result
+
+
+class LifeStreamEngine:
+    """High-level engine: compile temporal queries and stream data through them."""
+
+    def __init__(
+        self,
+        window_size: int = TICKS_PER_MINUTE,
+        targeted: bool = True,
+        tracer=None,
+    ) -> None:
+        if window_size <= 0:
+            raise ExecutionError(f"window size must be positive, got {window_size}")
+        self.window_size = window_size
+        self.targeted = targeted
+        self.tracer = tracer
+
+    def compile(
+        self,
+        query: Query,
+        sources: dict[str, StreamSource] | None = None,
+    ) -> CompiledQuery:
+        """Compile *query* against *sources* without executing it."""
+        plan = compile_plan(
+            query,
+            sources=sources,
+            window_size=self.window_size,
+            tracer=self.tracer,
+        )
+        return CompiledQuery(plan, targeted=self.targeted)
+
+    def run(
+        self,
+        query: Query,
+        sources: dict[str, StreamSource] | None = None,
+        targeted: bool | None = None,
+        collect: bool = True,
+    ) -> StreamResult:
+        """Compile and execute *query* in one call."""
+        compiled = self.compile(query, sources)
+        return compiled.run(targeted=targeted, collect=collect)

@@ -1,0 +1,121 @@
+"""Event and stream descriptors.
+
+LifeStream targets *periodic* streams: the sync time of every event lies on
+the grid ``offset + k * period``.  A stream is therefore fully described by
+the symbolic pair ``(offset, period)`` (Section 4 of the paper); the engine
+never needs to store per-event timestamps, it derives them from array
+indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timeutil import hz_from_period, is_aligned, period_from_hz
+from repro.errors import StreamDefinitionError
+
+
+@dataclass(frozen=True)
+class StreamDescriptor:
+    """Symbolic description of a periodic stream: ``(offset, period)``.
+
+    *offset* is the sync time of the first possible event; *period* is the
+    constant spacing between consecutive events (the reciprocal of the
+    sampling frequency).  Both are integer ticks.
+    """
+
+    offset: int
+    period: int
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise StreamDefinitionError(f"period must be positive, got {self.period}")
+        if self.offset < 0:
+            raise StreamDefinitionError(f"offset must be non-negative, got {self.offset}")
+
+    @staticmethod
+    def from_frequency(frequency_hz: float, offset: int = 0) -> "StreamDescriptor":
+        """Build a descriptor from a sampling frequency in Hz."""
+        return StreamDescriptor(offset=offset, period=period_from_hz(frequency_hz))
+
+    @property
+    def frequency_hz(self) -> float:
+        """Sampling frequency implied by the period."""
+        return hz_from_period(self.period)
+
+    def grid_index(self, sync_time: int) -> int:
+        """Index of the grid slot holding an event with the given sync time."""
+        if not self.is_on_grid(sync_time):
+            raise StreamDefinitionError(
+                f"sync time {sync_time} is not on the grid of {self}"
+            )
+        return (sync_time - self.offset) // self.period
+
+    def grid_time(self, index: int) -> int:
+        """Sync time of the grid slot at *index*."""
+        return self.offset + index * self.period
+
+    def is_on_grid(self, sync_time: int) -> bool:
+        """True when *sync_time* lies on this stream's periodic grid."""
+        return is_aligned(sync_time, self.period, self.offset)
+
+    def align_down(self, sync_time: int) -> int:
+        """Largest grid time that is ``<= sync_time``."""
+        return self.offset + ((sync_time - self.offset) // self.period) * self.period
+
+    def events_per(self, duration: int) -> int:
+        """Maximum number of events in an interval of the given *duration*.
+
+        This is the paper's bounded-memory-footprint property: at most
+        ``duration / period`` events can exist in any interval of that
+        length.
+        """
+        if duration % self.period != 0:
+            raise StreamDefinitionError(
+                f"duration {duration} is not a multiple of period {self.period}"
+            )
+        return duration // self.period
+
+    def with_offset(self, offset: int) -> "StreamDescriptor":
+        """Copy of this descriptor with a different offset."""
+        return StreamDescriptor(offset=offset, period=self.period)
+
+    def with_period(self, period: int) -> "StreamDescriptor":
+        """Copy of this descriptor with a different period."""
+        return StreamDescriptor(offset=self.offset, period=period)
+
+    def __str__(self) -> str:
+        return f"({self.offset},{self.period})"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single stream event: payload value, sync time, and duration.
+
+    The engine itself stores events in columnar :class:`~repro.core.fwindow.FWindow`
+    buffers; this row-wise representation exists for interoperability at the
+    edges of the system (sources, sinks, tests, examples).
+    """
+
+    sync_time: int
+    duration: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise StreamDefinitionError(
+                f"event duration must be positive, got {self.duration}"
+            )
+
+    @property
+    def end_time(self) -> int:
+        """The first instant at which the event is no longer active."""
+        return self.sync_time + self.duration
+
+    def is_active_at(self, timestamp: int) -> bool:
+        """True when the event's active interval covers *timestamp*."""
+        return self.sync_time <= timestamp < self.end_time
+
+    def overlaps(self, other: "Event") -> bool:
+        """True when the active intervals of the two events intersect."""
+        return self.sync_time < other.end_time and other.sync_time < self.end_time

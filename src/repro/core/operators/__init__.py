@@ -1,0 +1,26 @@
+"""Primitive temporal operators (Table 2 of the paper)."""
+
+from repro.core.operators.aggregate import Aggregate
+from repro.core.operators.base import Operator, masked_reduce, sample_active
+from repro.core.operators.elementwise import AlterDuration, Select, Shift, Where
+from repro.core.operators.join import ClipJoin, Join
+from repro.core.operators.regrid import AlterPeriod, Chop
+from repro.core.operators.shape_where import ShapeWhere
+from repro.core.operators.transform import Transform
+
+__all__ = [
+    "Operator",
+    "Select",
+    "Where",
+    "Shift",
+    "AlterDuration",
+    "Aggregate",
+    "Join",
+    "ClipJoin",
+    "AlterPeriod",
+    "Chop",
+    "Transform",
+    "ShapeWhere",
+    "masked_reduce",
+    "sample_active",
+]

@@ -1,0 +1,231 @@
+"""Operator base class and shared numeric helpers.
+
+Every primitive in Table 2 of the paper is implemented as a subclass of
+:class:`Operator`.  An operator is a *pure description* of a computation; it
+owns no buffers.  The compiler wires operators into plan nodes, assigns each
+node an FWindow (sized by locality tracing and the static memory planner)
+and the runtime then repeatedly calls :meth:`Operator.compute` as the
+windows slide forward through the stream.
+
+An operator contributes four pieces of information:
+
+``output_descriptor``
+    how the (offset, period) of the output stream derives from the inputs —
+    the *linearity property* in stream-descriptor form;
+``dimension_constraint`` / ``required_input_dimension``
+    the dimension-translation rules used by locality tracing (Section 5.2);
+``input_sync_time``
+    where the input FWindow(s) must be positioned to produce a given output
+    window — the event-lineage map used by targeted query processing;
+``propagate_coverage``
+    how data availability flows through the operator, again for targeted
+    query processing (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.event import StreamDescriptor
+from repro.core.fwindow import FWindow
+from repro.core.intervals import IntervalSet
+from repro.core.timeutil import LinearTimeMap
+from repro.errors import QueryConstructionError
+
+
+class Operator:
+    """Base class for all temporal operators."""
+
+    #: Number of input streams the operator consumes (1 or 2).
+    arity: int = 1
+    #: Whether the operator keeps cross-window state (Table 2, "Is stateful?").
+    stateful: bool = False
+    #: Human-readable name used in plan dumps and error messages.
+    name: str = "operator"
+
+    # -- compile-time interface -------------------------------------------
+
+    def output_descriptor(self, inputs: Sequence[StreamDescriptor]) -> StreamDescriptor:
+        """Descriptor of the output stream given the input descriptors."""
+        return inputs[0]
+
+    def dimension_constraint(self, inputs: Sequence[StreamDescriptor]) -> int:
+        """Extra value the FWindow dimension must be a multiple of.
+
+        Locality tracing takes the LCM of the stream periods with every
+        operator's dimension constraint; most operators only require the
+        period itself (return 1 here).
+        """
+        return 1
+
+    def required_input_dimension(self, output_dimension: int, input_index: int) -> int:
+        """Input FWindow dimension needed to produce an output of the given dimension."""
+        return output_dimension
+
+    def output_dimension(self, input_dimensions: Sequence[int]) -> int:
+        """Output FWindow dimension produced from the given input dimensions."""
+        return max(input_dimensions)
+
+    def time_map(self, input_index: int = 0) -> LinearTimeMap:
+        """Linear map from input sync times to output sync times."""
+        return LinearTimeMap.identity()
+
+    def input_sync_time(
+        self,
+        output_sync_time: int,
+        input_index: int,
+        input_descriptor: StreamDescriptor,
+    ) -> int:
+        """Sync time at which input *input_index*'s FWindow must be positioned."""
+        inverse = self.time_map(input_index).invert()
+        mapped = inverse.apply_float(output_sync_time)
+        return input_descriptor.align_down(int(mapped))
+
+    def propagate_coverage(self, coverages: Sequence[IntervalSet]) -> IntervalSet:
+        """Output data coverage given the input coverages."""
+        mapped = self.time_map(0)
+        if mapped.is_identity():
+            return coverages[0]
+        return IntervalSet([mapped.apply_interval(iv) for iv in coverages[0]])
+
+    # -- runtime interface --------------------------------------------------
+
+    def make_state(self):
+        """Create the operator's constant-size cross-window state (or None)."""
+        return None
+
+    def compute(self, output: FWindow, inputs: Sequence[FWindow], state) -> None:
+        """Fill *output* from the already-positioned and filled *inputs*."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+# ---------------------------------------------------------------------------
+# Shared numeric helpers
+# ---------------------------------------------------------------------------
+
+
+def ensure_callable(function, what: str) -> Callable:
+    """Raise a :class:`QueryConstructionError` when *function* is not callable."""
+    if not callable(function):
+        raise QueryConstructionError(f"{what} must be callable, got {function!r}")
+    return function
+
+
+def sample_active(
+    out_times: np.ndarray,
+    source: FWindow,
+    carry: tuple[int, float, int] | None,
+) -> tuple[np.ndarray, np.ndarray, tuple[int, float, int] | None]:
+    """Sample which event of *source* is active at each of *out_times*.
+
+    Returns ``(active_mask, values, new_carry)`` where ``values[i]`` is the
+    payload of the event covering ``out_times[i]`` (unspecified where the
+    mask is False).  *carry* is the bounded one-event state described in
+    Section 6.3 of the paper: an event from a previous window whose duration
+    extends across the FWindow boundary.  The returned ``new_carry`` is the
+    last event observed, to be passed to the next call.
+    """
+    out_times = np.asarray(out_times, dtype=np.int64)
+
+    # Fast path: the window is fully populated and every event lives for
+    # exactly one period (the overwhelmingly common case for raw periodic
+    # signals).  The active event index is then pure arithmetic — no search.
+    if (
+        source.bitvector.all()
+        and source.capacity > 0
+        and int(source.durations[0]) == source.period
+        and int(source.durations[-1]) == source.period
+    ):
+        indices = (out_times - source.sync_time) // source.period
+        active = (indices >= 0) & (indices < source.capacity)
+        clipped = np.clip(indices, 0, source.capacity - 1)
+        sampled = source.values[clipped]
+        last_index = source.capacity - 1
+        new_carry = (
+            int(source.sync_time + last_index * source.period),
+            float(source.values[last_index]),
+            int(source.durations[last_index]),
+        )
+        # An old carried event may still be active before the window's first
+        # own event; splice it in only where needed.
+        if carry is not None and (~active).any():
+            carry_time, carry_value, carry_duration = carry
+            carried_active = (~active) & (out_times >= carry_time) & (
+                out_times < carry_time + carry_duration
+            )
+            if carried_active.any():
+                sampled = np.where(carried_active, carry_value, sampled)
+                active = active | carried_active
+        return active, sampled, new_carry
+
+    times = source.present_times()
+    values = source.present_values()
+    durations = source.present_durations()
+    if carry is not None:
+        carry_time, carry_value, carry_duration = carry
+        still_relevant = carry_time + carry_duration > source.sync_time
+        before_window = times.size == 0 or carry_time < times[0]
+        if still_relevant and before_window:
+            times = np.concatenate(([carry_time], times))
+            values = np.concatenate(([carry_value], values))
+            durations = np.concatenate(([carry_duration], durations))
+    if times.size == 0:
+        mask = np.zeros(out_times.shape, dtype=bool)
+        return mask, np.zeros(out_times.shape, dtype=np.float64), carry
+    indices = np.searchsorted(times, out_times, side="right") - 1
+    clipped = np.clip(indices, 0, times.size - 1)
+    active = (indices >= 0) & (times[clipped] + durations[clipped] > out_times)
+    sampled = values[clipped]
+    new_carry = (int(times[-1]), float(values[-1]), int(durations[-1]))
+    return active, sampled, new_carry
+
+
+def masked_reduce(
+    values: np.ndarray,
+    mask: np.ndarray,
+    how: str | Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce the rows of a 2-D array, honouring a presence mask.
+
+    *values* and *mask* have shape ``(n_windows, samples_per_window)``.
+    Returns ``(result, present)`` where ``present[i]`` is True when row *i*
+    contained at least one present sample.  *how* is one of the named
+    aggregates (``mean``, ``sum``, ``max``, ``min``, ``std``, ``count``,
+    ``first``, ``last``) or a callable ``f(values, mask) -> 1-D array``.
+    """
+    counts = mask.sum(axis=1)
+    present = counts > 0
+    if callable(how):
+        return np.asarray(how(values, mask), dtype=np.float64), present
+    if how == "count":
+        return counts.astype(np.float64), present
+    if how == "sum":
+        return np.where(mask, values, 0.0).sum(axis=1), present
+    if how == "mean":
+        sums = np.where(mask, values, 0.0).sum(axis=1)
+        safe = np.maximum(counts, 1)
+        return sums / safe, present
+    if how == "max":
+        return np.where(mask, values, -np.inf).max(axis=1), present
+    if how == "min":
+        return np.where(mask, values, np.inf).min(axis=1), present
+    if how == "std":
+        sums = np.where(mask, values, 0.0).sum(axis=1)
+        safe = np.maximum(counts, 1)
+        means = sums / safe
+        centered = np.where(mask, values - means[:, None], 0.0)
+        variance = (centered**2).sum(axis=1) / safe
+        return np.sqrt(variance), present
+    if how == "first":
+        first_idx = np.argmax(mask, axis=1)
+        return values[np.arange(values.shape[0]), first_idx], present
+    if how == "last":
+        reversed_mask = mask[:, ::-1]
+        last_idx = mask.shape[1] - 1 - np.argmax(reversed_mask, axis=1)
+        return values[np.arange(values.shape[0]), last_idx], present
+    raise QueryConstructionError(f"unknown aggregate function {how!r}")

@@ -1,0 +1,174 @@
+"""Temporal joins.
+
+``Join`` performs a temporal equijoin of two periodic streams: for every
+slot of the output grid, the event of the left stream and the event of the
+right stream that are *active* at that instant are paired and combined into
+a single payload.  The output grid is the finer of the two input grids,
+which reproduces the behaviour shown in Figure 5(c) of the paper (a
+``(0,1)`` stream joined with a ``(0,2)`` stream produces a ``(0,1)``
+output).
+
+``ClipJoin`` pairs each event of the left stream with the *immediately
+succeeding* event of the right stream (Table 2).
+
+Both operators are stateful in the bounded sense of Section 6.3: at most one
+event per side can straddle an FWindow boundary (its duration extends past
+the window end), so a single carried event per side is sufficient state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.event import StreamDescriptor
+from repro.core.fwindow import FWindow
+from repro.core.intervals import IntervalSet
+from repro.core.operators.base import Operator, ensure_callable, sample_active
+from repro.core.timeutil import lcm
+from repro.errors import QueryConstructionError
+
+#: Join flavours supported by :class:`Join`.
+JOIN_KINDS = ("inner", "left", "outer")
+
+
+def _pair_left(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Default combiner: keep the left payload."""
+    return left
+
+
+class Join(Operator):
+    """Temporal equijoin of two periodic streams."""
+
+    name = "Join"
+    arity = 2
+    stateful = True
+
+    def __init__(
+        self,
+        combine: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        how: str = "inner",
+        fill_value: float = np.nan,
+    ):
+        if how not in JOIN_KINDS:
+            raise QueryConstructionError(
+                f"unknown join kind {how!r}; expected one of {JOIN_KINDS}"
+            )
+        self.combine = ensure_callable(combine, "Join combiner") if combine else _pair_left
+        self.how = how
+        self.fill_value = float(fill_value)
+
+    # -- compile-time ------------------------------------------------------
+
+    def output_descriptor(self, inputs: Sequence[StreamDescriptor]) -> StreamDescriptor:
+        left, right = inputs
+        if left.period <= right.period:
+            return StreamDescriptor(offset=left.offset, period=left.period)
+        return StreamDescriptor(offset=right.offset, period=right.period)
+
+    def dimension_constraint(self, inputs: Sequence[StreamDescriptor]) -> int:
+        left, right = inputs
+        # Table 2: [out] <- LCM([left], [right]).
+        return lcm(left.period, right.period)
+
+    def propagate_coverage(self, coverages: Sequence[IntervalSet]) -> IntervalSet:
+        left, right = coverages
+        if self.how == "inner":
+            return left.intersect(right)
+        if self.how == "left":
+            return left
+        return left.union(right)
+
+    def make_state(self):
+        return {"left_carry": None, "right_carry": None}
+
+    # -- runtime -----------------------------------------------------------
+
+    def compute(self, output: FWindow, inputs: Sequence[FWindow], state) -> None:
+        left, right = inputs
+        left.trace_read()
+        right.trace_read()
+        out_times = output.sync_times()
+        left_active, left_values, state["left_carry"] = sample_active(
+            out_times, left, state["left_carry"]
+        )
+        right_active, right_values, state["right_carry"] = sample_active(
+            out_times, right, state["right_carry"]
+        )
+        if self.how == "inner":
+            present = left_active & right_active
+        elif self.how == "left":
+            present = left_active
+            right_values = np.where(right_active, right_values, self.fill_value)
+        else:  # outer
+            present = left_active | right_active
+            left_values = np.where(left_active, left_values, self.fill_value)
+            right_values = np.where(right_active, right_values, self.fill_value)
+        with np.errstate(all="ignore"):
+            combined = self.combine(left_values, right_values)
+        output.values[:] = combined
+        output.bitvector[:] = present
+        output.durations[:] = output.period
+        output.trace_write()
+
+
+class ClipJoin(Operator):
+    """Join each left event with the immediately succeeding right event.
+
+    The output stream has the left stream's descriptor.  A left event whose
+    succeeding right event falls beyond the current FWindow is dropped (the
+    streaming engine cannot look into the future); in the periodic,
+    densely-packed signals this operator is used on, that affects at most
+    one event per window boundary.
+    """
+
+    name = "ClipJoin"
+    arity = 2
+    stateful = True
+
+    def __init__(self, combine: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None):
+        self.combine = ensure_callable(combine, "ClipJoin combiner") if combine else _pair_left
+
+    def output_descriptor(self, inputs: Sequence[StreamDescriptor]) -> StreamDescriptor:
+        return inputs[0]
+
+    def dimension_constraint(self, inputs: Sequence[StreamDescriptor]) -> int:
+        left, right = inputs
+        return lcm(left.period, right.period)
+
+    def propagate_coverage(self, coverages: Sequence[IntervalSet]) -> IntervalSet:
+        return coverages[0]
+
+    def make_state(self):
+        return {}
+
+    def compute(self, output: FWindow, inputs: Sequence[FWindow], state) -> None:
+        left, right = inputs
+        left.trace_read()
+        right.trace_read()
+        left_indices = left.present_indices()
+        left_times = left.sync_time + left_indices * left.period
+        left_values = left.values[left_indices]
+        right_times = right.present_times()
+        right_values = right.present_values()
+
+        output.bitvector[:] = False
+        if left_times.size == 0:
+            output.trace_write()
+            return
+        if right_times.size == 0:
+            output.trace_write()
+            return
+        successor = np.searchsorted(right_times, left_times, side="left")
+        has_successor = successor < right_times.size
+        successor_clipped = np.clip(successor, 0, right_times.size - 1)
+        with np.errstate(all="ignore"):
+            combined = self.combine(left_values, right_values[successor_clipped])
+
+        out_indices = (left_times - output.sync_time) // output.period
+        valid = has_successor & (out_indices >= 0) & (out_indices < output.capacity)
+        output.values[out_indices[valid]] = combined[valid]
+        output.durations[out_indices[valid]] = output.period
+        output.bitvector[out_indices[valid]] = True
+        output.trace_write()

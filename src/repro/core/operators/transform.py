@@ -1,0 +1,76 @@
+"""The generic Transform operator.
+
+``Transform(window, fn)`` applies an arbitrary user-defined transformation
+to *window*-sized intervals of the stream and produces an interval of the
+same size as output (Table 2).  It is LifeStream's escape hatch for
+integrating third-party numerical code — FIR filters, interpolation-based
+gap filling, normalisation — into a temporal query without leaving the
+engine (Section 6.1).
+
+The user function receives the window's value array and its presence mask
+and returns either a new value array or a ``(values, mask)`` pair when the
+transformation also changes which slots hold events (for example when a
+gap-filling transform materialises previously-absent samples).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.event import StreamDescriptor
+from repro.core.fwindow import FWindow
+from repro.core.operators.base import Operator, ensure_callable
+from repro.errors import QueryConstructionError
+
+
+class Transform(Operator):
+    """Apply a user-defined transformation to fixed-size windows."""
+
+    name = "Transform"
+
+    def __init__(
+        self,
+        window: int,
+        function: Callable[[np.ndarray, np.ndarray], np.ndarray | tuple[np.ndarray, np.ndarray]],
+    ):
+        if window <= 0:
+            raise QueryConstructionError(f"transform window must be positive, got {window}")
+        self.window = int(window)
+        self.function = ensure_callable(function, "Transform function")
+
+    def output_descriptor(self, inputs: Sequence[StreamDescriptor]) -> StreamDescriptor:
+        source = inputs[0]
+        if self.window % source.period != 0:
+            raise QueryConstructionError(
+                f"transform window {self.window} must be a multiple of the input "
+                f"period {source.period}"
+            )
+        return source
+
+    def dimension_constraint(self, inputs: Sequence[StreamDescriptor]) -> int:
+        return self.window
+
+    def compute(self, output: FWindow, inputs: Sequence[FWindow], state) -> None:
+        source = inputs[0]
+        source.trace_read()
+        period = source.period
+        samples_per_chunk = self.window // period
+        n_chunks = source.capacity // samples_per_chunk
+        for chunk in range(n_chunks):
+            lo = chunk * samples_per_chunk
+            hi = lo + samples_per_chunk
+            chunk_values = source.values[lo:hi]
+            chunk_mask = source.bitvector[lo:hi]
+            with np.errstate(all="ignore"):
+                result = self.function(chunk_values, chunk_mask)
+            if isinstance(result, tuple):
+                new_values, new_mask = result
+                output.values[lo:hi] = new_values
+                output.bitvector[lo:hi] = new_mask
+            else:
+                output.values[lo:hi] = result
+                output.bitvector[lo:hi] = chunk_mask
+        output.durations[:] = source.durations
+        output.trace_write()

@@ -1,0 +1,363 @@
+"""The temporal query language.
+
+Queries are built with a fluent, declarative API modelled on the temporal
+query languages of Trill-style engines (Listing 1 of the paper).  A query is
+a pure *description*: building one performs no computation and touches no
+data.  The engine compiles the description into an executable plan
+(locality tracing, static memory allocation) and then streams data through
+it.
+
+Example — the paper's running example (Listing 1), joining a 500 Hz stream
+with a 200 Hz stream after subtracting a 100 ms tumbling mean::
+
+    sig500 = Query.source("sig500", frequency_hz=500)
+    sig200 = Query.source("sig200", frequency_hz=200)
+
+    left = sig500.multicast(
+        lambda s: s.select(lambda v: v)
+                   .join(s.tumbling_window(100).mean(), lambda val, mean: val - mean)
+    )
+    output = left.join(sig200.select(lambda v: v), lambda l, r: l + r)
+
+    engine = LifeStreamEngine()
+    result = engine.run(output, sources={"sig500": ..., "sig200": ...})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.event import StreamDescriptor
+from repro.core.operators import (
+    Aggregate,
+    AlterDuration,
+    AlterPeriod,
+    Chop,
+    ClipJoin,
+    Join,
+    Operator,
+    Select,
+    ShapeWhere,
+    Shift,
+    Transform,
+    Where,
+)
+from repro.core.sources import StreamSource
+from repro.core.timeutil import period_from_hz
+from repro.errors import QueryConstructionError
+
+
+@dataclass
+class QuerySpec:
+    """A node of the declarative query tree.
+
+    ``kind`` is either ``"source"`` (a leaf referencing a named or bound
+    stream source) or ``"operator"`` (an interior node applying a temporal
+    operator to its input spec nodes).  Spec nodes are shared by reference
+    when a stream is multicast, which is what lets the compiler build a DAG
+    rather than a tree.
+    """
+
+    kind: str
+    name: str
+    operator: Operator | None = None
+    inputs: list["QuerySpec"] = field(default_factory=list)
+    source_name: str | None = None
+    bound_source: StreamSource | None = None
+    declared_descriptor: StreamDescriptor | None = None
+
+
+class Query:
+    """A composable temporal query over one or more periodic streams."""
+
+    _counter = 0
+
+    def __init__(self, spec: QuerySpec) -> None:
+        self._spec = spec
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def source(
+        name: str,
+        frequency_hz: float | None = None,
+        period: int | None = None,
+        offset: int = 0,
+    ) -> "Query":
+        """Reference a named input stream.
+
+        The actual :class:`~repro.core.sources.StreamSource` is supplied at
+        compile time via the engine's ``sources`` mapping.  Declaring the
+        frequency (or period) here is optional but lets the compiler check
+        that the bound source matches the query's expectations.
+        """
+        declared = None
+        if frequency_hz is not None and period is not None:
+            raise QueryConstructionError("pass either frequency_hz or period, not both")
+        if frequency_hz is not None:
+            declared = StreamDescriptor(offset=offset, period=period_from_hz(frequency_hz))
+        elif period is not None:
+            declared = StreamDescriptor(offset=offset, period=period)
+        spec = QuerySpec(
+            kind="source",
+            name=name,
+            source_name=name,
+            declared_descriptor=declared,
+        )
+        return Query(spec)
+
+    @staticmethod
+    def from_source(source: StreamSource, name: str | None = None) -> "Query":
+        """Build a query directly over a concrete stream source object."""
+        Query._counter += 1
+        label = name or f"source_{Query._counter}"
+        spec = QuerySpec(kind="source", name=label, source_name=label, bound_source=source)
+        return Query(spec)
+
+    @property
+    def spec(self) -> QuerySpec:
+        """The underlying declarative spec node (used by the compiler)."""
+        return self._spec
+
+    def _apply(self, operator: Operator, *others: "Query") -> "Query":
+        Query._counter += 1
+        spec = QuerySpec(
+            kind="operator",
+            name=f"{operator.name.lower()}_{Query._counter}",
+            operator=operator,
+            inputs=[self._spec] + [other._spec for other in others],
+        )
+        return Query(spec)
+
+    # -- element-wise operations ---------------------------------------------
+
+    def select(self, projection: Callable[[np.ndarray], np.ndarray], vectorized: bool = True) -> "Query":
+        """Project every event's payload through *projection*."""
+        return self._apply(Select(projection, vectorized=vectorized))
+
+    def where(self, predicate: Callable[[np.ndarray], np.ndarray], vectorized: bool = True) -> "Query":
+        """Keep only the events whose payload satisfies *predicate*."""
+        return self._apply(Where(predicate, vectorized=vectorized))
+
+    def where_shape(
+        self,
+        shape: np.ndarray,
+        threshold: float,
+        mode: str = "remove",
+        stride: int | None = None,
+        band_fraction: float = 0.1,
+    ) -> "Query":
+        """Shape-based Where: filter regions matching a query shape (Section 6.1)."""
+        return self._apply(
+            ShapeWhere(shape, threshold, mode=mode, stride=stride, band_fraction=band_fraction)
+        )
+
+    def shift(self, offset: int) -> "Query":
+        """Shift every event's sync time by a constant number of ticks."""
+        return self._apply(Shift(offset))
+
+    def alter_duration(self, duration: int) -> "Query":
+        """Set every event's active duration to *duration* ticks."""
+        return self._apply(AlterDuration(duration))
+
+    # -- re-gridding ----------------------------------------------------------
+
+    def alter_period(self, period: int, mode: str = "hold") -> "Query":
+        """Change the stream's period, re-gridding events onto the new grid."""
+        return self._apply(AlterPeriod(period, mode=mode))
+
+    def resample(
+        self,
+        period: int | None = None,
+        frequency_hz: float | None = None,
+        mode: str = "interpolate",
+    ) -> "Query":
+        """Up/down-sample the signal (Table 3's Resample, linear interpolation by default)."""
+        if (period is None) == (frequency_hz is None):
+            raise QueryConstructionError("pass exactly one of period or frequency_hz")
+        if period is None:
+            period = period_from_hz(frequency_hz)
+        return self._apply(AlterPeriod(period, mode=mode))
+
+    def chop(self, period: int) -> "Query":
+        """Split every event's active interval on *period* boundaries."""
+        return self._apply(Chop(period))
+
+    # -- windowed operations ---------------------------------------------------
+
+    def aggregate(
+        self,
+        window: int,
+        stride: int | None = None,
+        func: str | Callable[[np.ndarray, np.ndarray], np.ndarray] = "mean",
+    ) -> "Query":
+        """Apply an aggregate over *window*-sized intervals with the given stride."""
+        return self._apply(Aggregate(window, stride=stride, func=func))
+
+    def tumbling_window(self, window: int) -> "WindowedQuery":
+        """Fixed-size, non-overlapping, contiguous windows."""
+        return WindowedQuery(self, window=window, stride=window)
+
+    def sliding_window(self, window: int, stride: int) -> "WindowedQuery":
+        """Overlapping windows of size *window* advancing by *stride* ticks."""
+        return WindowedQuery(self, window=window, stride=stride)
+
+    def transform(
+        self,
+        window: int,
+        function: Callable[[np.ndarray, np.ndarray], np.ndarray | tuple[np.ndarray, np.ndarray]],
+    ) -> "Query":
+        """Apply an arbitrary user transformation to *window*-sized intervals."""
+        return self._apply(Transform(window, function))
+
+    # -- stream combination -------------------------------------------------------
+
+    def join(
+        self,
+        other: "Query",
+        combine: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        how: str = "inner",
+        fill_value: float = np.nan,
+    ) -> "Query":
+        """Temporal equijoin with another stream."""
+        if not isinstance(other, Query):
+            raise QueryConstructionError(f"join expects another Query, got {type(other).__name__}")
+        return self._apply(Join(combine, how=how, fill_value=fill_value), other)
+
+    def left_join(
+        self,
+        other: "Query",
+        combine: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        fill_value: float = np.nan,
+    ) -> "Query":
+        """Temporal left join with another stream."""
+        return self.join(other, combine=combine, how="left", fill_value=fill_value)
+
+    def outer_join(
+        self,
+        other: "Query",
+        combine: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        fill_value: float = np.nan,
+    ) -> "Query":
+        """Temporal outer join with another stream."""
+        return self.join(other, combine=combine, how="outer", fill_value=fill_value)
+
+    def clip_join(
+        self,
+        other: "Query",
+        combine: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+    ) -> "Query":
+        """Join each event with the immediately succeeding event of *other*."""
+        if not isinstance(other, Query):
+            raise QueryConstructionError(
+                f"clip_join expects another Query, got {type(other).__name__}"
+            )
+        return self._apply(ClipJoin(combine), other)
+
+    # -- fan-out ----------------------------------------------------------------
+
+    def multicast(self, subquery: Callable[["Query"], "Query"]) -> "Query":
+        """Fork the stream so multiple sub-queries share the same input.
+
+        The callable receives this query and returns the combined result.
+        Because both uses reference the same underlying spec node, the
+        compiler builds a single shared plan node and the forked stream is
+        computed exactly once per window.
+        """
+        if not callable(subquery):
+            raise QueryConstructionError("multicast expects a callable building the sub-query")
+        result = subquery(self)
+        if not isinstance(result, Query):
+            raise QueryConstructionError("multicast sub-query must return a Query")
+        return result
+
+    # -- introspection -------------------------------------------------------------
+
+    def source_names(self) -> set[str]:
+        """Names of all named sources referenced by the query."""
+        names: set[str] = set()
+        seen: set[int] = set()
+
+        def walk(spec: QuerySpec) -> None:
+            if id(spec) in seen:
+                return
+            seen.add(id(spec))
+            if spec.kind == "source" and spec.bound_source is None:
+                names.add(spec.source_name)
+            for child in spec.inputs:
+                walk(child)
+
+        walk(self._spec)
+        return names
+
+    def operator_count(self) -> int:
+        """Number of distinct operator nodes in the query."""
+        count = 0
+        seen: set[int] = set()
+
+        def walk(spec: QuerySpec) -> None:
+            nonlocal count
+            if id(spec) in seen:
+                return
+            seen.add(id(spec))
+            if spec.kind == "operator":
+                count += 1
+            for child in spec.inputs:
+                walk(child)
+
+        walk(self._spec)
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Query {self._spec.name} over {sorted(self.source_names())}>"
+
+
+class WindowedQuery:
+    """Intermediate builder returned by ``tumbling_window`` / ``sliding_window``."""
+
+    def __init__(self, parent: Query, window: int, stride: int) -> None:
+        self._parent = parent
+        self._window = window
+        self._stride = stride
+
+    def _aggregate(self, func) -> Query:
+        return self._parent.aggregate(self._window, stride=self._stride, func=func)
+
+    def mean(self) -> Query:
+        """Mean of the payload values in each window."""
+        return self._aggregate("mean")
+
+    def sum(self) -> Query:
+        """Sum of the payload values in each window."""
+        return self._aggregate("sum")
+
+    def max(self) -> Query:
+        """Maximum payload value in each window."""
+        return self._aggregate("max")
+
+    def min(self) -> Query:
+        """Minimum payload value in each window."""
+        return self._aggregate("min")
+
+    def std(self) -> Query:
+        """Population standard deviation of the payload values in each window."""
+        return self._aggregate("std")
+
+    def count(self) -> Query:
+        """Number of present events in each window."""
+        return self._aggregate("count")
+
+    def first(self) -> Query:
+        """First present payload value in each window."""
+        return self._aggregate("first")
+
+    def last(self) -> Query:
+        """Last present payload value in each window."""
+        return self._aggregate("last")
+
+    def apply(self, func: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> Query:
+        """Apply a custom aggregate ``f(values, mask) -> 1-D array`` to each window."""
+        return self._aggregate(func)

@@ -1,0 +1,6 @@
+"""Runtime: plan execution and results."""
+
+from repro.core.runtime.executor import execute_plan
+from repro.core.runtime.result import ExecutionStats, StreamResult
+
+__all__ = ["execute_plan", "ExecutionStats", "StreamResult"]

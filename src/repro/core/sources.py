@@ -1,0 +1,216 @@
+"""Stream sources.
+
+A source feeds a periodic stream into the engine.  The engine only needs
+three things from a source:
+
+* its :class:`~repro.core.event.StreamDescriptor` ``(offset, period)``,
+* its *coverage* — an :class:`~repro.core.intervals.IntervalSet` describing
+  where data actually exists (physiological data is full of gaps), and
+* a ``read(start, end)`` method returning the events inside a half-open time
+  interval as columnar NumPy arrays.
+
+Three concrete sources are provided: in-memory arrays (``ArraySource``),
+CSV files on disk (``CsvSource``), matching the paper's retrospective-data
+use case, and a replayable wrapper (``ReplaySource``) that simulates live
+ingestion by only exposing data up to a movable "now" watermark.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.event import StreamDescriptor
+from repro.core.intervals import IntervalSet
+from repro.errors import StreamDefinitionError
+
+
+class StreamSource:
+    """Abstract base class for stream sources."""
+
+    descriptor: StreamDescriptor
+
+    def coverage(self) -> IntervalSet:
+        """Interval set describing where events exist."""
+        raise NotImplementedError
+
+    def read(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(times, values, durations)`` for events in ``[start, end)``."""
+        raise NotImplementedError
+
+    def event_count(self) -> int:
+        """Total number of events the source holds."""
+        raise NotImplementedError
+
+
+class ArraySource(StreamSource):
+    """A source backed by in-memory NumPy arrays of timestamps and values."""
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        period: int,
+        offset: int | None = None,
+        durations: np.ndarray | None = None,
+        validate: bool = True,
+    ) -> None:
+        times = np.asarray(times, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if times.shape != values.shape:
+            raise StreamDefinitionError(
+                f"times and values must have the same shape, got {times.shape} "
+                f"and {values.shape}"
+            )
+        if times.size and np.any(np.diff(times) <= 0):
+            order = np.argsort(times, kind="stable")
+            times = times[order]
+            values = values[order]
+            if durations is not None:
+                durations = np.asarray(durations, dtype=np.int64)[order]
+        if offset is None:
+            offset = int(times[0] % period) if times.size else 0
+        if validate and times.size:
+            misaligned = (times - offset) % period
+            if np.any(misaligned != 0):
+                bad = int(times[np.flatnonzero(misaligned)[0]])
+                raise StreamDefinitionError(
+                    f"timestamp {bad} does not lie on the periodic grid "
+                    f"(offset={offset}, period={period})"
+                )
+        self.descriptor = StreamDescriptor(offset=offset, period=period)
+        self._times = times
+        self._values = values
+        if durations is None:
+            self._durations = np.full(times.shape, period, dtype=np.int64)
+            self._coverage = IntervalSet.from_timestamps(times, period)
+        else:
+            self._durations = np.asarray(durations, dtype=np.int64)
+            self._coverage = IntervalSet.from_events(times, self._durations)
+
+    @staticmethod
+    def from_frequency(
+        times: np.ndarray,
+        values: np.ndarray,
+        frequency_hz: float,
+        **kwargs,
+    ) -> "ArraySource":
+        """Build an ArraySource from a sampling frequency in Hz."""
+        descriptor = StreamDescriptor.from_frequency(frequency_hz)
+        return ArraySource(times, values, period=descriptor.period, **kwargs)
+
+    def coverage(self) -> IntervalSet:
+        return self._coverage
+
+    def event_count(self) -> int:
+        return int(self._times.size)
+
+    def read(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        lo = int(np.searchsorted(self._times, start, side="left"))
+        hi = int(np.searchsorted(self._times, end, side="left"))
+        return self._times[lo:hi], self._values[lo:hi], self._durations[lo:hi]
+
+    @property
+    def times(self) -> np.ndarray:
+        """The full timestamp array backing this source."""
+        return self._times
+
+    @property
+    def values(self) -> np.ndarray:
+        """The full value array backing this source."""
+        return self._values
+
+
+class CsvSource(StreamSource):
+    """A source reading ``timestamp,value`` rows from a CSV file.
+
+    This mirrors the paper's retrospective-data workflow where historical
+    waveform data is stored on persistent disks in CSV form (Section 8.3).
+    The file is loaded eagerly into memory; for the dataset sizes used in
+    the reproduction this is both simpler and faster than chunked reads.
+    """
+
+    def __init__(self, path: str | Path, period: int, has_header: bool = True) -> None:
+        self.path = Path(path)
+        times: list[int] = []
+        values: list[float] = []
+        with open(self.path, newline="") as handle:
+            reader = csv.reader(handle)
+            if has_header:
+                next(reader, None)
+            for row in reader:
+                if not row:
+                    continue
+                times.append(int(row[0]))
+                values.append(float(row[1]))
+        self._delegate = ArraySource(
+            np.asarray(times, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+            period=period,
+        )
+        self.descriptor = self._delegate.descriptor
+
+    def coverage(self) -> IntervalSet:
+        return self._delegate.coverage()
+
+    def event_count(self) -> int:
+        return self._delegate.event_count()
+
+    def read(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._delegate.read(start, end)
+
+
+class ReplaySource(StreamSource):
+    """Wraps another source and only exposes events up to a watermark.
+
+    Data analysts develop pipelines against retrospective data and then
+    deploy them on live streams (Section 2).  ``ReplaySource`` simulates the
+    live case: the same query runs unchanged, but ``read`` never returns
+    events beyond the current watermark, and the watermark can be advanced
+    between executor steps to mimic data arriving over time.
+    """
+
+    def __init__(self, inner: StreamSource, watermark: int | None = None) -> None:
+        self._inner = inner
+        self.descriptor = inner.descriptor
+        span = inner.coverage().span()
+        self._watermark = watermark if watermark is not None else span[0]
+
+    @property
+    def watermark(self) -> int:
+        """Current watermark: no event at or beyond this time is visible."""
+        return self._watermark
+
+    def advance(self, new_watermark: int) -> None:
+        """Move the watermark forward (it can never move backwards)."""
+        if new_watermark < self._watermark:
+            raise StreamDefinitionError(
+                f"watermark can only move forward ({self._watermark} -> {new_watermark})"
+            )
+        self._watermark = new_watermark
+
+    def advance_to_end(self) -> None:
+        """Expose the entire underlying source."""
+        self._watermark = self._inner.coverage().span()[1]
+
+    def coverage(self) -> IntervalSet:
+        return self._inner.coverage().clip(*(self._inner.coverage().span()[0], self._watermark))
+
+    def event_count(self) -> int:
+        return self._inner.event_count()
+
+    def read(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._inner.read(start, min(end, self._watermark))
+
+
+def write_csv(path: str | Path, times: np.ndarray, values: np.ndarray) -> Path:
+    """Write a ``timestamp,value`` CSV file compatible with :class:`CsvSource`."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "value"])
+        for t, v in zip(np.asarray(times).tolist(), np.asarray(values).tolist()):
+            writer.writerow([int(t), float(v)])
+    return path

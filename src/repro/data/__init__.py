@@ -1,0 +1,63 @@
+"""Data substrate: synthetic and physiological waveform generation.
+
+Replaces the paper's proprietary SickKids dataset with controllable
+synthetic equivalents (see the substitution table in DESIGN.md).
+"""
+
+from repro.data.artifacts import (
+    InjectedArtifact,
+    detection_accuracy,
+    inject_line_zero,
+    line_zero_template,
+)
+from repro.data.dataset import (
+    CAP_SIGNALS,
+    PatientRecord,
+    Signal,
+    make_cap_patient,
+    make_cohort,
+    make_overlap_patient,
+    make_patient,
+)
+from repro.data.gaps import (
+    apply_coverage,
+    inject_burst_gaps,
+    make_overlapping_pair,
+    overlap_fraction,
+    small_random_gaps,
+)
+from repro.data.physio import (
+    ABP_FREQUENCY_HZ,
+    ECG_FREQUENCY_HZ,
+    generate_abp,
+    generate_ecg,
+    heart_rate_from_ecg,
+)
+from repro.data.synthetic import generate_events, generate_synthetic, sine_wave
+
+__all__ = [
+    "generate_synthetic",
+    "generate_events",
+    "sine_wave",
+    "generate_ecg",
+    "generate_abp",
+    "heart_rate_from_ecg",
+    "ECG_FREQUENCY_HZ",
+    "ABP_FREQUENCY_HZ",
+    "line_zero_template",
+    "inject_line_zero",
+    "detection_accuracy",
+    "InjectedArtifact",
+    "inject_burst_gaps",
+    "small_random_gaps",
+    "apply_coverage",
+    "overlap_fraction",
+    "make_overlapping_pair",
+    "Signal",
+    "PatientRecord",
+    "make_patient",
+    "make_overlap_patient",
+    "make_cohort",
+    "make_cap_patient",
+    "CAP_SIGNALS",
+]

@@ -1,0 +1,147 @@
+"""Signal artifacts: templates and injection.
+
+The paper's shape-based ``Where`` extension is motivated by the *line-zero*
+artifact in arterial blood pressure: when the pressure transducer is opened
+to atmosphere for calibration, the recorded pressure collapses towards zero
+for a couple of seconds and shows a characteristic plateau-with-spike shape
+(Figure 7).  This module provides
+
+* :func:`line_zero_template` — the representative shape a user would hand
+  to ``where_shape`` (a flat near-zero plateau with a calibration spike),
+* :func:`inject_line_zero` — inject such artifacts into a clean ABP signal
+  at known positions, so detection accuracy can be measured exactly
+  (Section 6.1 reports 0% false negatives and 0.2% false positives on a
+  month of data with 49 artifacts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+
+
+@dataclass(frozen=True)
+class InjectedArtifact:
+    """Ground-truth record of one injected artifact."""
+
+    #: Index of the first affected sample.
+    start_index: int
+    #: Index one past the last affected sample.
+    end_index: int
+
+    @property
+    def length(self) -> int:
+        return self.end_index - self.start_index
+
+
+def line_zero_template(
+    n_samples: int = 250,
+    spike_amplitude: float = 380.0,
+    plateau_level: float = 2.0,
+) -> np.ndarray:
+    """Representative line-zero shape: near-zero plateau with a calibration spike.
+
+    The default length of 250 samples corresponds to two seconds of 125 Hz
+    ABP data, matching the artifact duration shown in Figure 7.
+    """
+    if n_samples < 20:
+        raise DataGenerationError("line-zero template needs at least 20 samples")
+    template = np.full(n_samples, plateau_level, dtype=np.float64)
+    # Sharp transient at the moment the stopcock is opened.
+    spike_center = n_samples // 5
+    spike_width = max(2, n_samples // 50)
+    idx = np.arange(n_samples)
+    template += spike_amplitude * np.exp(-0.5 * ((idx - spike_center) / spike_width) ** 2)
+    # Slight downward drift on the plateau as the transducer settles.
+    template -= np.linspace(0.0, plateau_level * 0.5, n_samples)
+    return template
+
+
+def inject_line_zero(
+    values: np.ndarray,
+    n_artifacts: int,
+    artifact_samples: int = 250,
+    seed: int = 0,
+    min_separation: int | None = None,
+) -> tuple[np.ndarray, list[InjectedArtifact]]:
+    """Inject *n_artifacts* line-zero artifacts into a copy of *values*.
+
+    Artifact positions are chosen uniformly at random with a minimum
+    separation (default: four artifact lengths) so injected artifacts never
+    overlap.  Returns the modified signal and the ground-truth positions.
+    """
+    values = np.asarray(values, dtype=np.float64).copy()
+    if n_artifacts < 0:
+        raise DataGenerationError(f"n_artifacts must be non-negative, got {n_artifacts}")
+    if n_artifacts == 0:
+        return values, []
+    if min_separation is None:
+        min_separation = 4 * artifact_samples
+    usable = values.size - artifact_samples
+    if usable <= 0:
+        raise DataGenerationError(
+            f"signal of {values.size} samples is too short for artifacts of "
+            f"{artifact_samples} samples"
+        )
+    rng = np.random.default_rng(seed)
+    template = line_zero_template(artifact_samples)
+    positions: list[int] = []
+    attempts = 0
+    while len(positions) < n_artifacts:
+        attempts += 1
+        if attempts > 1000 * n_artifacts:
+            raise DataGenerationError(
+                "could not place the requested number of artifacts; the signal is "
+                "too short for the requested separation"
+            )
+        candidate = int(rng.integers(0, usable))
+        if all(abs(candidate - p) >= min_separation for p in positions):
+            positions.append(candidate)
+    positions.sort()
+
+    artifacts = []
+    for start in positions:
+        end = start + artifact_samples
+        jitter = rng.normal(0.0, 0.5, size=artifact_samples)
+        values[start:end] = template + jitter
+        artifacts.append(InjectedArtifact(start_index=start, end_index=end))
+    return values, artifacts
+
+
+def detection_accuracy(
+    detected_regions: list[tuple[int, int]],
+    artifacts: list[InjectedArtifact],
+    n_samples: int,
+    window: int = 250,
+) -> dict[str, float]:
+    """Compare detected index regions against injected ground truth.
+
+    Returns a dict with ``true_positives``, ``false_negatives``,
+    ``false_positive_rate`` (fraction of evaluated candidate windows outside
+    any artifact that were flagged — the metric the paper reports as 0.2%)
+    and ``false_negative_rate``.
+    """
+    def overlaps(region: tuple[int, int], artifact: InjectedArtifact) -> bool:
+        return region[0] < artifact.end_index and artifact.start_index < region[1]
+
+    true_positives = sum(
+        1 for artifact in artifacts if any(overlaps(region, artifact) for region in detected_regions)
+    )
+    false_negatives = len(artifacts) - true_positives
+    false_detections = sum(
+        1
+        for region in detected_regions
+        if not any(overlaps(region, artifact) for artifact in artifacts)
+    )
+    candidate_windows = max(1, n_samples // window)
+    clean_windows = max(1, candidate_windows - len(artifacts))
+    return {
+        "true_positives": float(true_positives),
+        "false_negatives": float(false_negatives),
+        "false_negative_rate": false_negatives / max(1, len(artifacts)),
+        "false_positives": float(false_detections),
+        "false_positive_rate": false_detections / clean_windows,
+    }

@@ -1,0 +1,198 @@
+"""Patient-level datasets.
+
+The paper's real dataset contains physiological waveforms from 6,100
+patients; the data-parallel scaling experiments (Section 8.6) exploit the
+fact that different patients' pipelines are independent.  This module
+bundles per-patient signals into :class:`PatientRecord` objects, builds
+multi-patient cohorts, and converts signals into engine sources or CSV
+files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sources import ArraySource, write_csv
+from repro.core.timeutil import period_from_hz
+from repro.data.gaps import inject_burst_gaps, make_overlapping_pair
+from repro.data.physio import (
+    ABP_FREQUENCY_HZ,
+    ECG_FREQUENCY_HZ,
+    generate_abp,
+    generate_ecg,
+)
+from repro.errors import DataGenerationError
+
+
+@dataclass
+class Signal:
+    """A single periodic signal: name, sampling frequency, and event arrays."""
+
+    name: str
+    frequency_hz: float
+    times: np.ndarray
+    values: np.ndarray
+
+    @property
+    def period(self) -> int:
+        """Period in ticks implied by the sampling frequency."""
+        return period_from_hz(self.frequency_hz)
+
+    @property
+    def event_count(self) -> int:
+        """Number of events in the signal."""
+        return int(self.times.size)
+
+    def to_source(self) -> ArraySource:
+        """Wrap the signal as an engine :class:`~repro.core.sources.ArraySource`."""
+        return ArraySource(self.times, self.values, period=self.period)
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the signal as a ``timestamp,value`` CSV file."""
+        return write_csv(path, self.times, self.values)
+
+
+@dataclass
+class PatientRecord:
+    """All signals recorded from one (synthetic) patient."""
+
+    patient_id: str
+    signals: dict[str, Signal] = field(default_factory=dict)
+
+    def add(self, signal: Signal) -> None:
+        """Add or replace a signal on the record."""
+        self.signals[signal.name] = signal
+
+    def __getitem__(self, name: str) -> Signal:
+        return self.signals[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.signals
+
+    def sources(self) -> dict[str, ArraySource]:
+        """Per-signal engine sources keyed by signal name."""
+        return {name: signal.to_source() for name, signal in self.signals.items()}
+
+    def total_events(self) -> int:
+        """Total number of events across every signal of the patient."""
+        return sum(signal.event_count for signal in self.signals.values())
+
+
+def make_patient(
+    patient_id: str = "patient-0",
+    duration_seconds: float = 120.0,
+    ecg_gap_fraction: float = 0.1,
+    abp_gap_fraction: float = 0.2,
+    heart_rate_bpm: float = 120.0,
+    seed: int = 0,
+) -> PatientRecord:
+    """Generate a patient with ECG (500 Hz) and ABP (125 Hz) signals plus gaps."""
+    if duration_seconds <= 0:
+        raise DataGenerationError(f"duration must be positive, got {duration_seconds}")
+    ecg_times, ecg_values = generate_ecg(
+        duration_seconds, heart_rate_bpm=heart_rate_bpm, seed=seed
+    )
+    abp_times, abp_values = generate_abp(
+        duration_seconds, heart_rate_bpm=heart_rate_bpm, seed=seed + 1
+    )
+    if ecg_gap_fraction > 0:
+        ecg_times, ecg_values = inject_burst_gaps(
+            ecg_times, ecg_values, ecg_gap_fraction, seed=seed + 2
+        )
+    if abp_gap_fraction > 0:
+        abp_times, abp_values = inject_burst_gaps(
+            abp_times, abp_values, abp_gap_fraction, seed=seed + 3
+        )
+    record = PatientRecord(patient_id=patient_id)
+    record.add(Signal("ecg", ECG_FREQUENCY_HZ, ecg_times, ecg_values))
+    record.add(Signal("abp", ABP_FREQUENCY_HZ, abp_times, abp_values))
+    return record
+
+
+def make_overlap_patient(
+    overlap: float,
+    duration_seconds: float = 120.0,
+    patient_id: str | None = None,
+    seed: int = 0,
+) -> PatientRecord:
+    """Patient whose ECG/ABP signals share exactly *overlap* of their span.
+
+    Used by the targeted-query-processing study (Figure 10(a)).
+    """
+    ecg_times, ecg_values = generate_ecg(duration_seconds, seed=seed)
+    abp_times, abp_values = generate_abp(duration_seconds, seed=seed + 1)
+    ecg_period = period_from_hz(ECG_FREQUENCY_HZ)
+    abp_period = period_from_hz(ABP_FREQUENCY_HZ)
+    (ecg_times, ecg_values), (abp_times, abp_values) = make_overlapping_pair(
+        (ecg_times, ecg_values),
+        (abp_times, abp_values),
+        overlap=overlap,
+        left_period=ecg_period,
+        right_period=abp_period,
+        seed=seed,
+    )
+    record = PatientRecord(patient_id=patient_id or f"overlap-{overlap:.2f}")
+    record.add(Signal("ecg", ECG_FREQUENCY_HZ, ecg_times, ecg_values))
+    record.add(Signal("abp", ABP_FREQUENCY_HZ, abp_times, abp_values))
+    return record
+
+
+def make_cohort(
+    n_patients: int,
+    duration_seconds: float = 60.0,
+    seed: int = 0,
+    **patient_kwargs,
+) -> list[PatientRecord]:
+    """Generate a cohort of independent patients for the scaling experiments."""
+    if n_patients <= 0:
+        raise DataGenerationError(f"n_patients must be positive, got {n_patients}")
+    return [
+        make_patient(
+            patient_id=f"patient-{index}",
+            duration_seconds=duration_seconds,
+            seed=seed + 17 * index,
+            **patient_kwargs,
+        )
+        for index in range(n_patients)
+    ]
+
+
+# Signals used by the cardiac-arrest-prediction (CAP) pipeline, Section 8.4.
+CAP_SIGNALS: tuple[tuple[str, float], ...] = (
+    ("ecg", 500.0),
+    ("abp", 125.0),
+    ("cvp", 125.0),   # central venous pressure
+    ("spo2", 125.0),  # pulse oximetry
+    ("resp", 62.5),   # respiration  (62.5 Hz -> 16 tick period)
+    ("etco2", 62.5),  # end-tidal CO2
+)
+
+
+def make_cap_patient(
+    duration_seconds: float = 60.0,
+    gap_fraction: float = 0.15,
+    seed: int = 0,
+    patient_id: str = "cap-patient",
+) -> PatientRecord:
+    """Patient carrying the six signal types joined by the CAP model pipeline."""
+    record = PatientRecord(patient_id=patient_id)
+    for index, (name, frequency) in enumerate(CAP_SIGNALS):
+        if name == "ecg":
+            times, values = generate_ecg(duration_seconds, seed=seed + index)
+        elif name == "abp":
+            times, values = generate_abp(duration_seconds, seed=seed + index)
+        else:
+            times, values = generate_abp(
+                duration_seconds,
+                frequency_hz=frequency,
+                systolic_mmhg=90.0 + 5 * index,
+                diastolic_mmhg=40.0 + 3 * index,
+                seed=seed + index,
+            )
+        if gap_fraction > 0:
+            times, values = inject_burst_gaps(times, values, gap_fraction, seed=seed + 31 + index)
+        record.add(Signal(name, frequency, times, values))
+    return record

@@ -1,0 +1,159 @@
+"""Discontinuity (gap) modelling.
+
+Raw physiological data contains many discontinuities caused by disruptions
+between the monitoring devices and the patient.  Two properties of those
+gaps matter to the paper's evaluation:
+
+* gaps are *bursty* — they concentrate in specific time periods rather than
+  being scattered uniformly (Figure 2), which is why FWindow fragmentation
+  stays below 0.3% (Section 6.2);
+* the *overlap* between different signals of the same patient varies widely,
+  which is what targeted query processing exploits (Figure 10(a) sweeps the
+  fraction of mutually overlapping ECG/ABP data from ~100% down to 10%).
+
+This module removes events from clean generated signals to produce both
+kinds of structure, with exact control over the resulting overlap fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.intervals import IntervalSet
+from repro.errors import DataGenerationError
+
+
+def inject_burst_gaps(
+    times: np.ndarray,
+    values: np.ndarray,
+    gap_fraction: float,
+    n_bursts: int = 10,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remove roughly *gap_fraction* of the events in *n_bursts* contiguous bursts.
+
+    Returns filtered copies of ``(times, values)``.  Bursts are placed
+    uniformly at random and may merge if they land next to each other, which
+    matches the clumped structure of real disconnections.
+    """
+    if not 0.0 <= gap_fraction < 1.0:
+        raise DataGenerationError(f"gap_fraction must be in [0, 1), got {gap_fraction}")
+    times = np.asarray(times)
+    values = np.asarray(values)
+    if gap_fraction == 0.0 or times.size == 0:
+        return times.copy(), values.copy()
+    if n_bursts <= 0:
+        raise DataGenerationError(f"n_bursts must be positive, got {n_bursts}")
+
+    rng = np.random.default_rng(seed)
+    n = times.size
+    total_gap = int(round(gap_fraction * n))
+    burst_length = max(1, total_gap // n_bursts)
+    keep = np.ones(n, dtype=bool)
+    removed = 0
+    attempts = 0
+    while removed < total_gap and attempts < 100 * n_bursts:
+        attempts += 1
+        start = int(rng.integers(0, max(1, n - burst_length)))
+        segment = keep[start : start + burst_length]
+        newly_removed = int(segment.sum())
+        segment[:] = False
+        removed += newly_removed
+    return times[keep].copy(), values[keep].copy()
+
+
+def small_random_gaps(
+    times: np.ndarray,
+    values: np.ndarray,
+    gap_probability: float,
+    max_gap_events: int = 3,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop short runs of events (1 to *max_gap_events*) at random positions.
+
+    These are the "small gaps" that the FillConst / FillMean operations of
+    Table 3 are designed to repair.
+    """
+    if not 0.0 <= gap_probability < 1.0:
+        raise DataGenerationError(
+            f"gap_probability must be in [0, 1), got {gap_probability}"
+        )
+    times = np.asarray(times)
+    values = np.asarray(values)
+    if gap_probability == 0.0 or times.size == 0:
+        return times.copy(), values.copy()
+    rng = np.random.default_rng(seed)
+    keep = np.ones(times.size, dtype=bool)
+    i = 0
+    while i < times.size:
+        if rng.random() < gap_probability:
+            run = int(rng.integers(1, max_gap_events + 1))
+            keep[i : i + run] = False
+            i += run
+        i += 1
+    return times[keep].copy(), values[keep].copy()
+
+
+def apply_coverage(
+    times: np.ndarray,
+    values: np.ndarray,
+    coverage: IntervalSet,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep only the events whose timestamp falls inside *coverage*."""
+    times = np.asarray(times)
+    values = np.asarray(values)
+    keep = np.zeros(times.size, dtype=bool)
+    for start, end in coverage:
+        keep |= (times >= start) & (times < end)
+    return times[keep].copy(), values[keep].copy()
+
+
+def overlap_fraction(
+    left_times: np.ndarray,
+    right_times: np.ndarray,
+    left_period: int,
+    right_period: int,
+) -> float:
+    """Fraction of the combined data span where both signals have data."""
+    left_cov = IntervalSet.from_timestamps(left_times, left_period)
+    right_cov = IntervalSet.from_timestamps(right_times, right_period)
+    union = left_cov.union(right_cov).total_length()
+    if union == 0:
+        return 0.0
+    return left_cov.intersect(right_cov).total_length() / union
+
+
+def make_overlapping_pair(
+    left: tuple[np.ndarray, np.ndarray],
+    right: tuple[np.ndarray, np.ndarray],
+    overlap: float,
+    left_period: int,
+    right_period: int,
+    seed: int = 0,
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Trim two full-coverage signals so only *overlap* of the span is shared.
+
+    Both signals keep data in the first ``overlap`` fraction of the time
+    span; the remainder is split evenly between regions where only the left
+    signal has data and regions where only the right one does.  This is the
+    construction used by the Figure 10(a) benchmark: the total amount of raw
+    data stays the same while the mutually overlapping fraction varies.
+    """
+    if not 0.0 < overlap <= 1.0:
+        raise DataGenerationError(f"overlap must be in (0, 1], got {overlap}")
+    left_times, left_values = left
+    right_times, right_values = right
+    start = int(min(left_times[0], right_times[0]))
+    end = int(max(left_times[-1] + left_period, right_times[-1] + right_period))
+    span = end - start
+
+    shared_end = start + int(span * overlap)
+    exclusive = span - (shared_end - start)
+    left_only_end = shared_end + exclusive // 2
+
+    left_coverage = IntervalSet([(start, shared_end), (shared_end, left_only_end)])
+    right_coverage = IntervalSet([(start, shared_end), (left_only_end, end)])
+
+    new_left = apply_coverage(left_times, left_values, left_coverage)
+    new_right = apply_coverage(right_times, right_values, right_coverage)
+    return (new_left, new_right)

@@ -1,0 +1,161 @@
+"""Synthetic physiological waveform generators.
+
+The paper evaluates on a proprietary dataset from The Hospital for Sick
+Children (ECG sampled at 500 Hz, arterial blood pressure at 125 Hz) which
+cannot be redistributed.  These generators produce morphologically
+realistic substitutes:
+
+* :func:`generate_ecg` builds an electrocardiogram as a train of heartbeats,
+  each composed of Gaussian-shaped P, Q, R, S and T waves, with beat-to-beat
+  heart-rate variability and additive measurement noise;
+* :func:`generate_abp` builds an arterial blood pressure waveform with a
+  systolic upstroke, dicrotic notch and diastolic decay per beat, expressed
+  in mmHg.
+
+The engine's behaviour only depends on the streams' periodicity, gap
+structure and value distribution — all of which these generators control —
+so they preserve the properties the paper's evaluation exercises (see the
+substitution table in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timeutil import period_from_hz
+from repro.errors import DataGenerationError
+
+#: Default ECG sampling rate used at SickKids (Section 7 of the paper).
+ECG_FREQUENCY_HZ = 500.0
+#: Default ABP sampling rate used at SickKids (Section 7 of the paper).
+ABP_FREQUENCY_HZ = 125.0
+
+# (center, width, amplitude) of each ECG wave component, expressed as a
+# fraction of the beat interval and in millivolt-ish units.
+_ECG_WAVES = (
+    (0.18, 0.025, 0.15),   # P wave
+    (0.295, 0.010, -0.10),  # Q wave
+    (0.32, 0.012, 1.00),   # R wave
+    (0.345, 0.010, -0.20),  # S wave
+    (0.55, 0.040, 0.30),   # T wave
+)
+
+
+def _beat_intervals(
+    duration_seconds: float, heart_rate_bpm: float, variability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-beat durations (seconds) with multiplicative heart-rate variability."""
+    mean_interval = 60.0 / heart_rate_bpm
+    estimated_beats = int(np.ceil(duration_seconds / mean_interval)) + 2
+    jitter = rng.normal(1.0, variability, size=estimated_beats)
+    return np.clip(mean_interval * jitter, 0.3 * mean_interval, 2.0 * mean_interval)
+
+
+def generate_ecg(
+    duration_seconds: float,
+    frequency_hz: float = ECG_FREQUENCY_HZ,
+    heart_rate_bpm: float = 120.0,
+    variability: float = 0.03,
+    noise: float = 0.02,
+    baseline_wander: float = 0.05,
+    seed: int = 0,
+    start_time: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesize an ECG-like waveform; returns ``(times, values)``.
+
+    The default 120 bpm reflects the paediatric ICU population of the
+    paper's dataset.
+    """
+    if duration_seconds <= 0:
+        raise DataGenerationError(f"duration must be positive, got {duration_seconds}")
+    period = period_from_hz(frequency_hz)
+    n_samples = int(duration_seconds * frequency_hz)
+    rng = np.random.default_rng(seed)
+    seconds = np.arange(n_samples) / frequency_hz
+    values = np.zeros(n_samples)
+
+    beat_start = 0.0
+    for interval in _beat_intervals(duration_seconds, heart_rate_bpm, variability, rng):
+        if beat_start > duration_seconds:
+            break
+        for center_frac, width_frac, amplitude in _ECG_WAVES:
+            center = beat_start + center_frac * interval
+            width = width_frac * interval
+            lo = np.searchsorted(seconds, center - 5 * width)
+            hi = np.searchsorted(seconds, center + 5 * width)
+            if hi > lo:
+                local = seconds[lo:hi]
+                values[lo:hi] += amplitude * np.exp(-0.5 * ((local - center) / width) ** 2)
+        beat_start += interval
+
+    if baseline_wander > 0:
+        values += baseline_wander * np.sin(2 * np.pi * 0.25 * seconds)
+    if noise > 0:
+        values += rng.normal(0.0, noise, size=n_samples)
+
+    times = start_time + np.arange(n_samples, dtype=np.int64) * period
+    return times, values
+
+
+def generate_abp(
+    duration_seconds: float,
+    frequency_hz: float = ABP_FREQUENCY_HZ,
+    heart_rate_bpm: float = 120.0,
+    systolic_mmhg: float = 110.0,
+    diastolic_mmhg: float = 65.0,
+    variability: float = 0.03,
+    noise: float = 0.8,
+    seed: int = 1,
+    start_time: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesize an arterial-blood-pressure-like waveform in mmHg."""
+    if duration_seconds <= 0:
+        raise DataGenerationError(f"duration must be positive, got {duration_seconds}")
+    if systolic_mmhg <= diastolic_mmhg:
+        raise DataGenerationError(
+            f"systolic pressure ({systolic_mmhg}) must exceed diastolic ({diastolic_mmhg})"
+        )
+    period = period_from_hz(frequency_hz)
+    n_samples = int(duration_seconds * frequency_hz)
+    rng = np.random.default_rng(seed)
+    seconds = np.arange(n_samples) / frequency_hz
+    values = np.full(n_samples, diastolic_mmhg, dtype=np.float64)
+    pulse = systolic_mmhg - diastolic_mmhg
+
+    beat_start = 0.0
+    for interval in _beat_intervals(duration_seconds, heart_rate_bpm, variability, rng):
+        if beat_start > duration_seconds:
+            break
+        lo = np.searchsorted(seconds, beat_start)
+        hi = np.searchsorted(seconds, beat_start + interval)
+        if hi > lo:
+            phase = (seconds[lo:hi] - beat_start) / interval
+            # Systolic upstroke and decay.
+            upstroke = np.exp(-0.5 * ((phase - 0.18) / 0.08) ** 2)
+            # Dicrotic notch / secondary wave.
+            dicrotic = 0.25 * np.exp(-0.5 * ((phase - 0.45) / 0.06) ** 2)
+            decay = np.exp(-2.2 * phase)
+            values[lo:hi] = diastolic_mmhg + pulse * (0.75 * upstroke + dicrotic) * (0.4 + 0.6 * decay)
+        beat_start += interval
+
+    if noise > 0:
+        values += rng.normal(0.0, noise, size=n_samples)
+
+    times = start_time + np.arange(n_samples, dtype=np.int64) * period
+    return times, values
+
+
+def heart_rate_from_ecg(values: np.ndarray, frequency_hz: float) -> float:
+    """Estimate heart rate (bpm) from an ECG array by counting R peaks.
+
+    Used by tests to check that the generator honours its heart-rate
+    parameter and as a building block of the derived-variable examples.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size < int(frequency_hz):
+        raise DataGenerationError("need at least one second of ECG to estimate heart rate")
+    threshold = values.mean() + 0.5 * (values.max() - values.mean())
+    above = values > threshold
+    rising_edges = np.flatnonzero(~above[:-1] & above[1:])
+    duration_minutes = values.size / frequency_hz / 60.0
+    return float(rising_edges.size / duration_minutes)

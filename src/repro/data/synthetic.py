@@ -1,0 +1,91 @@
+"""Synthetic (non-physiological) waveform generation.
+
+The paper's synthetic dataset is "1000 Hz waveform data generated for 1000
+minutes with randomly selected signal values ... a continuous stream of
+signal events with no gaps" (Section 7).  These helpers generate that
+dataset — and smaller/parameterised variants of it — as plain NumPy arrays
+of timestamps and values that plug directly into
+:class:`~repro.core.sources.ArraySource` or any of the baseline engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timeutil import TICKS_PER_MINUTE, period_from_hz
+from repro.errors import DataGenerationError
+
+
+def generate_synthetic(
+    frequency_hz: float = 1000.0,
+    duration_minutes: float = 1000.0,
+    seed: int = 0,
+    start_time: int = 0,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Continuous random-valued periodic signal (the paper's synthetic dataset).
+
+    Returns ``(times, values)``: int64 tick timestamps spaced one period
+    apart and float64 values drawn uniformly from ``[low, high)``.
+    """
+    if duration_minutes <= 0:
+        raise DataGenerationError(f"duration must be positive, got {duration_minutes}")
+    period = period_from_hz(frequency_hz)
+    total_ticks = int(duration_minutes * TICKS_PER_MINUTE)
+    count = total_ticks // period
+    if count <= 0:
+        raise DataGenerationError(
+            f"duration {duration_minutes} min at {frequency_hz} Hz produces no events"
+        )
+    rng = np.random.default_rng(seed)
+    times = start_time + np.arange(count, dtype=np.int64) * period
+    values = rng.uniform(low, high, size=count)
+    return times, values
+
+
+def generate_events(
+    n_events: int,
+    frequency_hz: float = 1000.0,
+    seed: int = 0,
+    start_time: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Continuous random signal with an exact number of events.
+
+    Benchmarks that sweep the dataset size (Figure 9(c)) use this variant so
+    the x-axis is expressed directly in millions of events.
+    """
+    if n_events <= 0:
+        raise DataGenerationError(f"n_events must be positive, got {n_events}")
+    period = period_from_hz(frequency_hz)
+    rng = np.random.default_rng(seed)
+    times = start_time + np.arange(n_events, dtype=np.int64) * period
+    values = rng.uniform(0.0, 1.0, size=n_events)
+    return times, values
+
+
+def sine_wave(
+    frequency_hz: float,
+    duration_seconds: float,
+    wave_hz: float = 1.0,
+    amplitude: float = 1.0,
+    noise: float = 0.0,
+    seed: int = 0,
+    start_time: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A sampled sine wave, optionally with additive Gaussian noise.
+
+    Useful for tests whose expected output is analytically known (e.g.
+    frequency filtering should attenuate a sine above the cut-off).
+    """
+    period = period_from_hz(frequency_hz)
+    count = int(duration_seconds * frequency_hz)
+    if count <= 0:
+        raise DataGenerationError("duration too short to produce any samples")
+    times = start_time + np.arange(count, dtype=np.int64) * period
+    seconds = (times - start_time) / 1000.0
+    values = amplitude * np.sin(2.0 * np.pi * wave_hz * seconds)
+    if noise > 0:
+        rng = np.random.default_rng(seed)
+        values = values + rng.normal(0.0, noise, size=count)
+    return times, values

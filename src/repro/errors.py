@@ -1,0 +1,74 @@
+"""Exception hierarchy for the LifeStream reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class StreamDefinitionError(ReproError):
+    """A stream descriptor or source is malformed.
+
+    Raised, for example, when a period is not a positive integer or when the
+    event timestamps handed to a source do not lie on the stream's periodic
+    grid.
+    """
+
+
+class QueryConstructionError(ReproError):
+    """A query was composed in a way that cannot be compiled.
+
+    Examples: joining streams from two different queries that were already
+    compiled, passing a non-callable projection to ``select``, or using a
+    window size that is not a multiple of the stream period.
+    """
+
+
+class CompilationError(ReproError):
+    """The query graph could not be compiled into an executable plan."""
+
+
+class LocalityTracingError(CompilationError):
+    """Locality tracing failed to converge to a consistent dimension set."""
+
+
+class MemoryPlanError(CompilationError):
+    """The static memory planner could not size the FWindow buffers."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure occurred while streaming data through the plan."""
+
+
+class NonMonotonicProgressError(ExecutionError):
+    """An operator was asked to move its FWindow backwards in time.
+
+    LifeStream requires monotonic progress: FWindows may only slide forward
+    (Section 4 of the paper).  Violations indicate a scheduling bug or a
+    misuse of the low-level operator API.
+    """
+
+
+class BaselineError(ReproError):
+    """Base class for failures inside the baseline engines."""
+
+
+class TrillOutOfMemoryError(BaselineError):
+    """The Trill-like baseline exhausted its memory budget.
+
+    The paper (Section 8.3) reports that Trill's temporal join buffers
+    unmatched events when the two input streams diverge and eventually runs
+    out of memory on highly discontinuous data.  The baseline reproduces
+    that behaviour by tracking its buffered state against a configurable
+    budget and raising this error when the budget is exceeded.
+    """
+
+
+class DataGenerationError(ReproError):
+    """A synthetic dataset could not be generated from the given parameters."""

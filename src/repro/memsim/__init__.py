@@ -1,0 +1,20 @@
+"""Cache simulation substrate (replaces the paper's Intel vTune measurements)."""
+
+from repro.memsim.cache import (
+    CACHE_LINE_BYTES,
+    DEFAULT_ASSOCIATIVITY,
+    XEON_E5_2660_LLC_BYTES,
+    CacheSimulator,
+    CacheStats,
+)
+from repro.memsim.tracer import AccessTracer, Buffer
+
+__all__ = [
+    "CacheSimulator",
+    "CacheStats",
+    "AccessTracer",
+    "Buffer",
+    "XEON_E5_2660_LLC_BYTES",
+    "CACHE_LINE_BYTES",
+    "DEFAULT_ASSOCIATIVITY",
+]

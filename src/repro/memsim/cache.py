@@ -1,0 +1,125 @@
+"""A set-associative LRU cache model.
+
+The paper's cache-utilisation study (Table 5) measures last-level cache
+misses with Intel vTune on a Xeon E5-2660 (20 MiB LLC).  Hardware
+performance counters are not available here, so the reproduction models the
+LLC directly: a set-associative cache with LRU replacement, fed with the
+memory-access traces that the engines emit from their buffer-touch paths
+(see :mod:`repro.memsim.tracer`).
+
+The model is deliberately simple — it captures exactly the effect the paper
+demonstrates: an engine whose working set is a small set of reused FWindows
+keeps a flat miss count regardless of batch size, while an engine that
+allocates a fresh batch for every operator output keeps streaming new
+addresses through the cache and its misses grow with the batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: LLC size of the Intel Xeon E5-2660 used in the paper (20 MiB).
+XEON_E5_2660_LLC_BYTES = 20 * 1024 * 1024
+#: Typical LLC line size.
+CACHE_LINE_BYTES = 64
+#: Typical LLC associativity.
+DEFAULT_ASSOCIATIVITY = 16
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters accumulated by :class:`CacheSimulator`."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def scaled(self, factor: float) -> "CacheStats":
+        """Scale the counters (used to undo trace sampling)."""
+        return CacheStats(
+            accesses=int(self.accesses * factor),
+            hits=int(self.hits * factor),
+            misses=int(self.misses * factor),
+        )
+
+
+class CacheSimulator:
+    """Set-associative LRU cache fed with (address, size) accesses."""
+
+    def __init__(
+        self,
+        size_bytes: int = XEON_E5_2660_LLC_BYTES,
+        line_bytes: int = CACHE_LINE_BYTES,
+        associativity: int = DEFAULT_ASSOCIATIVITY,
+    ) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        n_lines = size_bytes // line_bytes
+        n_sets = max(1, n_lines // associativity)
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.n_sets = n_sets
+        # tags[set, way] holds the line tag; -1 means invalid.
+        self._tags = np.full((n_sets, associativity), -1, dtype=np.int64)
+        # last_used[set, way] holds a global access counter for LRU.
+        self._last_used = np.zeros((n_sets, associativity), dtype=np.int64)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Invalidate the cache and clear the counters."""
+        self._tags.fill(-1)
+        self._last_used.fill(0)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def access_lines(self, line_addresses: np.ndarray) -> None:
+        """Access a sequence of cache-line addresses (already divided by line size)."""
+        tags = self._tags
+        last_used = self._last_used
+        n_sets = self.n_sets
+        clock = self._clock
+        hits = 0
+        misses = 0
+        for line in np.asarray(line_addresses, dtype=np.int64):
+            clock += 1
+            set_index = int(line % n_sets)
+            row = tags[set_index]
+            ways = np.flatnonzero(row == line)
+            if ways.size:
+                hits += 1
+                last_used[set_index, ways[0]] = clock
+            else:
+                misses += 1
+                victim = int(np.argmin(last_used[set_index]))
+                tags[set_index, victim] = line
+                last_used[set_index, victim] = clock
+        self._clock = clock
+        self.stats.accesses += hits + misses
+        self.stats.hits += hits
+        self.stats.misses += misses
+
+    def access_range(self, base_address: int, n_bytes: int) -> None:
+        """Access every cache line covered by ``[base_address, base_address + n_bytes)``."""
+        if n_bytes <= 0:
+            return
+        first = base_address // self.line_bytes
+        last = (base_address + n_bytes - 1) // self.line_bytes
+        self.access_lines(np.arange(first, last + 1, dtype=np.int64))
+
+    @property
+    def misses(self) -> int:
+        """Total misses observed so far."""
+        return self.stats.misses
+
+    @property
+    def hits(self) -> int:
+        """Total hits observed so far."""
+        return self.stats.hits

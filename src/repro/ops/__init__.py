@@ -1,0 +1,41 @@
+"""Physiological data-processing operations (Table 3 of the paper)."""
+
+from repro.ops.kernels import (
+    clamp_kernel,
+    fill_const_kernel,
+    fill_mean_kernel,
+    fir_filter_kernel,
+    interpolate_gaps_kernel,
+    zscore_kernel,
+)
+from repro.ops.operations import (
+    DEFAULT_WINDOW,
+    OPERATION_NAMES,
+    lifestream_fillconst,
+    lifestream_fillmean,
+    lifestream_normalize,
+    lifestream_normalize_multicast,
+    lifestream_operation,
+    lifestream_passfilter,
+    lifestream_resample,
+    trill_operation,
+)
+
+__all__ = [
+    "zscore_kernel",
+    "fir_filter_kernel",
+    "fill_const_kernel",
+    "fill_mean_kernel",
+    "interpolate_gaps_kernel",
+    "clamp_kernel",
+    "lifestream_normalize",
+    "lifestream_normalize_multicast",
+    "lifestream_passfilter",
+    "lifestream_fillconst",
+    "lifestream_fillmean",
+    "lifestream_resample",
+    "lifestream_operation",
+    "trill_operation",
+    "OPERATION_NAMES",
+    "DEFAULT_WINDOW",
+]

@@ -1,0 +1,132 @@
+"""Shared numeric kernels used by the Table 3 operations.
+
+Each kernel has the signature required by the LifeStream ``Transform``
+operator — ``f(values, present) -> values`` or ``-> (values, present)`` —
+and a factory that closes over the operation's parameters.  The same
+kernels are reused by the Trill-baseline pipelines (wrapped in
+``TrillWindowTransform``) so that both engines execute the identical
+numerical work and only the engine architecture differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy import signal as scipy_signal
+
+
+def zscore_kernel() -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Standard-score normalisation of a window (Table 3: Normalize)."""
+
+    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if not present.any():
+            return values, present
+        observed = values[present]
+        mean = observed.mean()
+        std = observed.std()
+        if std == 0:
+            return np.zeros_like(values), present
+        return (values - mean) / std, present
+
+    return kernel
+
+
+def fir_filter_kernel(
+    numtaps: int, cutoff_hz: float, sample_rate_hz: float
+) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Low-pass FIR frequency filtering of a window (Table 3: PassFilter)."""
+    taps = scipy_signal.firwin(numtaps, cutoff_hz, fs=sample_rate_hz)
+
+    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        padded = np.where(present, values, 0.0)
+        filtered = scipy_signal.lfilter(taps, 1.0, padded)
+        return filtered, present
+
+    return kernel
+
+
+def fill_const_kernel(
+    max_gap_samples: int, constant: float = 0.0
+) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Fill absent runs of at most *max_gap_samples* with a constant (FillConst)."""
+
+    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        new_values, new_present = _fill_gaps(
+            values, present, max_gap_samples, lambda left, right: constant
+        )
+        return new_values, new_present
+
+    return kernel
+
+
+def fill_mean_kernel(
+    max_gap_samples: int,
+) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Fill absent runs with the mean of the surrounding present values (FillMean)."""
+
+    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return _fill_gaps(values, present, max_gap_samples, lambda left, right: 0.5 * (left + right))
+
+    return kernel
+
+
+def _fill_gaps(
+    values: np.ndarray,
+    present: np.ndarray,
+    max_gap_samples: int,
+    fill_value_fn: Callable[[float, float], float],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fill interior runs of absent samples no longer than *max_gap_samples*."""
+    new_values = values.copy()
+    new_present = present.copy()
+    if present.all() or not present.any():
+        return new_values, new_present
+    present_idx = np.flatnonzero(present)
+    gap_starts = present_idx[:-1] + 1
+    gap_ends = present_idx[1:]  # inclusive end is gap_ends - 1; gap length below
+    gap_lengths = present_idx[1:] - present_idx[:-1] - 1
+    for start, end, length, left_idx, right_idx in zip(
+        gap_starts, gap_ends, gap_lengths, present_idx[:-1], present_idx[1:]
+    ):
+        if length <= 0 or length > max_gap_samples:
+            continue
+        fill = fill_value_fn(float(values[left_idx]), float(values[right_idx]))
+        new_values[start:end] = fill
+        new_present[start:end] = True
+    return new_values, new_present
+
+
+def interpolate_gaps_kernel(
+    max_gap_samples: int,
+) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Fill short gaps by linear interpolation between the surrounding samples."""
+
+    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        new_values = values.copy()
+        new_present = present.copy()
+        if present.all() or not present.any():
+            return new_values, new_present
+        present_idx = np.flatnonzero(present)
+        all_idx = np.arange(values.size)
+        interpolated = np.interp(all_idx, present_idx, values[present_idx])
+        gap_lengths = np.diff(present_idx) - 1
+        for left_idx, right_idx, length in zip(present_idx[:-1], present_idx[1:], gap_lengths):
+            if 0 < length <= max_gap_samples:
+                new_values[left_idx + 1 : right_idx] = interpolated[left_idx + 1 : right_idx]
+                new_present[left_idx + 1 : right_idx] = True
+        return new_values, new_present
+
+    return kernel
+
+
+def clamp_kernel(
+    low: float, high: float
+) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Mask out events whose payload falls outside ``[low, high]`` (event masking)."""
+
+    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        keep = present & (values >= low) & (values <= high)
+        return values, keep
+
+    return kernel

@@ -1,0 +1,170 @@
+"""The Table 3 operation benchmarks, expressed on each engine.
+
+For every operation the paper benchmarks (Normalize, PassFilter, FillConst,
+FillMean, Resample) this module provides
+
+* a LifeStream query fragment (``lifestream_*``) that can be chained onto
+  any :class:`~repro.core.query.Query`,
+* the matching Trill-baseline operator chain (``trill_*``),
+
+so the Figure 9(b) benchmark runs the *same* numerical kernels on both
+engines and only the engine architecture differs.  The NumLib versions live
+in :mod:`repro.baselines.numlib`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.trill.operators import TrillOperator, TrillResample, TrillWindowTransform
+from repro.core.query import Query
+from repro.core.timeutil import TICKS_PER_MINUTE, TICKS_PER_SECOND, period_from_hz
+from repro.ops import kernels
+
+#: Default processing window used by the paper's benchmarks (one minute).
+DEFAULT_WINDOW = TICKS_PER_MINUTE
+
+#: Operation names in the order Figure 9(b) lists them.
+OPERATION_NAMES = ("normalize", "passfilter", "fillconst", "fillmean", "resample")
+
+
+# ---------------------------------------------------------------------------
+# LifeStream query fragments
+# ---------------------------------------------------------------------------
+
+
+def lifestream_normalize(query: Query, window: int = DEFAULT_WINDOW) -> Query:
+    """Standard-score normalisation over fixed windows (Table 3: Normalize)."""
+    return query.transform(window, kernels.zscore_kernel())
+
+
+def lifestream_normalize_multicast(query: Query, window: int = DEFAULT_WINDOW) -> Query:
+    """Normalize written purely with temporal primitives (multicast + aggregates).
+
+    Functionally equivalent to :func:`lifestream_normalize`; exists to
+    exercise the Listing 1 style of composing aggregates and joins, and as
+    the query used in the cache study (it chains several operators so
+    cross-operator locality matters).
+    """
+    return query.multicast(
+        lambda s: s.join(
+            s.tumbling_window(window).mean(), lambda value, mean: value - mean
+        ).join(s.tumbling_window(window).std(), lambda centered, std: centered / std)
+    )
+
+
+def lifestream_passfilter(
+    query: Query,
+    frequency_hz: float,
+    window: int = DEFAULT_WINDOW,
+    numtaps: int = 51,
+    cutoff_hz: float = 40.0,
+) -> Query:
+    """FIR low-pass filtering (Table 3: PassFilter)."""
+    return query.transform(window, kernels.fir_filter_kernel(numtaps, cutoff_hz, frequency_hz))
+
+
+def lifestream_fillconst(
+    query: Query,
+    period: int,
+    max_gap: int = TICKS_PER_SECOND,
+    constant: float = 0.0,
+    window: int = DEFAULT_WINDOW,
+) -> Query:
+    """Fill small gaps with a constant value (Table 3: FillConst)."""
+    return query.transform(window, kernels.fill_const_kernel(max_gap // period, constant))
+
+
+def lifestream_fillmean(
+    query: Query,
+    period: int,
+    max_gap: int = TICKS_PER_SECOND,
+    window: int = DEFAULT_WINDOW,
+) -> Query:
+    """Fill small gaps with the mean of the surrounding values (Table 3: FillMean)."""
+    return query.transform(window, kernels.fill_mean_kernel(max_gap // period))
+
+
+def lifestream_resample(query: Query, to_frequency_hz: float) -> Query:
+    """Linear-interpolation resampling (Table 3: Resample)."""
+    return query.resample(frequency_hz=to_frequency_hz, mode="interpolate")
+
+
+def lifestream_operation(
+    name: str,
+    source_name: str,
+    frequency_hz: float,
+    window: int = DEFAULT_WINDOW,
+) -> Query:
+    """Build the LifeStream query for one Table 3 operation by name."""
+    period = period_from_hz(frequency_hz)
+    query = Query.source(source_name, frequency_hz=frequency_hz)
+    if name == "normalize":
+        return lifestream_normalize(query, window)
+    if name == "passfilter":
+        return lifestream_passfilter(query, frequency_hz, window)
+    if name == "fillconst":
+        return lifestream_fillconst(query, period, window=window)
+    if name == "fillmean":
+        return lifestream_fillmean(query, period, window=window)
+    if name == "resample":
+        # Upsample onto a finer grid (quarter period, floor of one tick), the
+        # same target the Trill and NumLib versions of this benchmark use.
+        return query.resample(period=max(1, period // 4), mode="interpolate")
+    raise ValueError(f"unknown operation {name!r}; expected one of {OPERATION_NAMES}")
+
+
+# ---------------------------------------------------------------------------
+# Trill-baseline operator chains
+# ---------------------------------------------------------------------------
+
+
+def _wrap_window_kernel(kernel):
+    """Adapt a ``(values, present) -> ...`` kernel to Trill's ``(times, values)`` transforms."""
+
+    def adapted(times, values):
+        import numpy as np
+
+        present = np.ones(values.shape, dtype=bool)
+        result = kernel(values, present)
+        if isinstance(result, tuple):
+            new_values, new_present = result
+            return times[new_present], new_values[new_present]
+        return times, result
+
+    return adapted
+
+
+def trill_operation(
+    name: str,
+    frequency_hz: float,
+    window: int = DEFAULT_WINDOW,
+    tracer=None,
+) -> list[TrillOperator]:
+    """Build the Trill-baseline operator chain for one Table 3 operation."""
+    period = period_from_hz(frequency_hz)
+    if name == "normalize":
+        return [TrillWindowTransform(window, _wrap_window_kernel(kernels.zscore_kernel()), tracer)]
+    if name == "passfilter":
+        kernel = kernels.fir_filter_kernel(51, 40.0, frequency_hz)
+        return [TrillWindowTransform(window, _wrap_window_kernel(kernel), tracer)]
+    if name == "fillconst":
+        kernel = _trill_fill_kernel(period, TICKS_PER_SECOND, constant=0.0)
+        return [TrillWindowTransform(window, kernel, tracer)]
+    if name == "fillmean":
+        kernel = _trill_fill_kernel(period, TICKS_PER_SECOND, constant=None)
+        return [TrillWindowTransform(window, kernel, tracer)]
+    if name == "resample":
+        return [TrillResample(max(1, period // 4), tracer)]
+    raise ValueError(f"unknown operation {name!r}; expected one of {OPERATION_NAMES}")
+
+
+def _trill_fill_kernel(period: int, max_gap: int, constant: float | None):
+    """Gap filling over explicit timestamps (the Trill baseline has no implicit grid)."""
+
+    def kernel(times, values):
+        from repro.baselines.numlib import ops as numlib_ops
+
+        if constant is None:
+            return numlib_ops.fill_mean(times, values, period, max_gap)
+        return numlib_ops.fill_const(times, values, period, max_gap, constant)
+
+    return kernel

@@ -1,0 +1,30 @@
+"""Shared result type for the end-to-end pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelineRun:
+    """Outcome of running one pipeline on one engine."""
+
+    engine: str
+    elapsed_seconds: float
+    events_ingested: int
+    events_emitted: int
+    #: Engine-specific extras (peak memory, windows skipped, ...).
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput_events_per_second(self) -> float:
+        """Ingested events per wall-clock second (the paper's throughput metric)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.events_ingested / self.elapsed_seconds
+
+    def speedup_over(self, other: "PipelineRun") -> float:
+        """How many times faster this run was than *other* (by elapsed time)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return other.elapsed_seconds / self.elapsed_seconds

@@ -1,0 +1,200 @@
+"""The end-to-end benchmark pipeline (Figure 3 of the paper).
+
+The pipeline joins a 500 Hz ECG signal with a 125 Hz ABP signal: both
+signals have their small gaps imputed, the ABP signal is upsampled to the
+ECG rate, both are normalised, and the two streams are inner-joined on
+event time.  This module builds the pipeline on all three systems —
+LifeStream, the Trill-like baseline and the NumLib baseline — from the same
+input arrays, so the Figure 9(c) benchmark compares identical workloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.numlib.pipeline import run_e2e_pipeline as numlib_e2e
+from repro.baselines.trill.engine import TrillEngine, TrillInput
+from repro.baselines.trill.operators import TrillJoin, TrillResample, TrillWindowTransform
+from repro.core.engine import LifeStreamEngine
+from repro.core.query import Query
+from repro.core.timeutil import TICKS_PER_MINUTE, TICKS_PER_SECOND, period_from_hz
+from repro.ops import kernels
+from repro.ops.operations import _wrap_window_kernel
+from repro.pipelines.common import PipelineRun
+
+#: Sampling rates of the two signals (Section 7 of the paper).
+ECG_HZ = 500.0
+ABP_HZ = 125.0
+#: Gaps smaller than this many ticks are imputed.
+DEFAULT_FILL_GAP = 64
+#: Window used for the standard-score normalisation stage (one second).
+DEFAULT_NORMALIZE_WINDOW = TICKS_PER_SECOND
+
+
+def lifestream_e2e_query(
+    fill_gap: int = DEFAULT_FILL_GAP,
+    normalize_window: int = DEFAULT_NORMALIZE_WINDOW,
+) -> Query:
+    """Build the Figure 3 pipeline as a LifeStream query over sources ``ecg``/``abp``."""
+    ecg_period = period_from_hz(ECG_HZ)
+    abp_period = period_from_hz(ABP_HZ)
+
+    ecg = (
+        Query.source("ecg", frequency_hz=ECG_HZ)
+        .transform(normalize_window, kernels.fill_mean_kernel(fill_gap // ecg_period))
+        .transform(normalize_window, kernels.zscore_kernel())
+    )
+    abp = (
+        Query.source("abp", frequency_hz=ABP_HZ)
+        .transform(normalize_window, kernels.fill_mean_kernel(fill_gap // abp_period))
+        .resample(frequency_hz=ECG_HZ, mode="interpolate")
+        .transform(normalize_window, kernels.zscore_kernel())
+    )
+    return ecg.join(abp, lambda left, right: left - right)
+
+
+def run_lifestream_e2e(
+    ecg: tuple[np.ndarray, np.ndarray],
+    abp: tuple[np.ndarray, np.ndarray],
+    window_size: int = TICKS_PER_MINUTE,
+    targeted: bool = True,
+    tracer=None,
+    fill_gap: int = DEFAULT_FILL_GAP,
+    normalize_window: int = DEFAULT_NORMALIZE_WINDOW,
+) -> PipelineRun:
+    """Run the Figure 3 pipeline on LifeStream."""
+    from repro.core.sources import ArraySource
+
+    ecg_source = ArraySource(ecg[0], ecg[1], period=period_from_hz(ECG_HZ))
+    abp_source = ArraySource(abp[0], abp[1], period=period_from_hz(ABP_HZ))
+    engine = LifeStreamEngine(window_size=window_size, targeted=targeted, tracer=tracer)
+    query = lifestream_e2e_query(fill_gap=fill_gap, normalize_window=normalize_window)
+
+    began = time.perf_counter()
+    compiled = engine.compile(query, sources={"ecg": ecg_source, "abp": abp_source})
+    result = compiled.run()
+    elapsed = time.perf_counter() - began
+    return PipelineRun(
+        engine="lifestream",
+        elapsed_seconds=elapsed,
+        events_ingested=result.stats.events_ingested,
+        events_emitted=result.stats.events_emitted,
+        extra={
+            "windows_computed": result.stats.windows_computed,
+            "windows_skipped": result.stats.windows_skipped,
+            "preallocated_bytes": result.stats.preallocated_bytes,
+            "targeted": targeted,
+        },
+    )
+
+
+def run_trill_e2e(
+    ecg: tuple[np.ndarray, np.ndarray],
+    abp: tuple[np.ndarray, np.ndarray],
+    batch_size: int = 4096,
+    memory_budget_bytes: int = 256 * 1024 * 1024,
+    tracer=None,
+    fill_gap: int = DEFAULT_FILL_GAP,
+    normalize_window: int = DEFAULT_NORMALIZE_WINDOW,
+) -> PipelineRun:
+    """Run the Figure 3 pipeline on the Trill-like baseline.
+
+    Raises :class:`~repro.errors.TrillOutOfMemoryError` when the join state
+    exceeds the configured budget (the Section 8.3 behaviour).
+    """
+    ecg_period = period_from_hz(ECG_HZ)
+    abp_period = period_from_hz(ABP_HZ)
+    engine = TrillEngine(
+        batch_size=batch_size, memory_budget_bytes=memory_budget_bytes, tracer=tracer
+    )
+
+    left_ops = [
+        TrillWindowTransform(
+            normalize_window,
+            _wrap_window_kernel(kernels.fill_mean_kernel(fill_gap // ecg_period)),
+            tracer,
+        ),
+        TrillWindowTransform(
+            normalize_window, _wrap_window_kernel(kernels.zscore_kernel()), tracer
+        ),
+    ]
+    right_ops = [
+        TrillWindowTransform(
+            normalize_window,
+            _wrap_window_kernel(kernels.fill_mean_kernel(fill_gap // abp_period)),
+            tracer,
+        ),
+        TrillResample(ecg_period, tracer),
+        TrillWindowTransform(
+            normalize_window, _wrap_window_kernel(kernels.zscore_kernel()), tracer
+        ),
+    ]
+    join = TrillJoin(combine=lambda left, right: left - right, tracer=tracer)
+
+    began = time.perf_counter()
+    times, values, stats = engine.run_join(
+        TrillInput(ecg[0], ecg[1], ecg_period),
+        TrillInput(abp[0], abp[1], abp_period),
+        left_ops,
+        right_ops,
+        join,
+    )
+    elapsed = time.perf_counter() - began
+    return PipelineRun(
+        engine="trill",
+        elapsed_seconds=elapsed,
+        events_ingested=stats.events_ingested,
+        events_emitted=int(times.size),
+        extra={
+            "peak_state_bytes": stats.peak_state_bytes,
+            "batches_processed": stats.batches_processed,
+        },
+    )
+
+
+def run_numlib_e2e(
+    ecg: tuple[np.ndarray, np.ndarray],
+    abp: tuple[np.ndarray, np.ndarray],
+    fill_gap: int = DEFAULT_FILL_GAP,
+    normalize_window: int = DEFAULT_NORMALIZE_WINDOW,
+) -> PipelineRun:
+    """Run the Figure 3 pipeline on the NumLib baseline."""
+    ecg_period = period_from_hz(ECG_HZ)
+    times, values, stats = numlib_e2e(
+        ecg[0],
+        ecg[1],
+        abp[0],
+        abp[1],
+        ecg_period=ecg_period,
+        abp_period=period_from_hz(ABP_HZ),
+        fill_gap=fill_gap,
+        normalize_window_samples=normalize_window // ecg_period,
+    )
+    return PipelineRun(
+        engine="numlib",
+        elapsed_seconds=stats.elapsed_seconds,
+        events_ingested=stats.events_ingested,
+        events_emitted=stats.events_emitted,
+    )
+
+
+#: Engines supported by :func:`run_e2e`.
+E2E_ENGINES = ("lifestream", "trill", "numlib")
+
+
+def run_e2e(
+    engine: str,
+    ecg: tuple[np.ndarray, np.ndarray],
+    abp: tuple[np.ndarray, np.ndarray],
+    **kwargs,
+) -> PipelineRun:
+    """Dispatch the Figure 3 pipeline to one of the three engines by name."""
+    if engine == "lifestream":
+        return run_lifestream_e2e(ecg, abp, **kwargs)
+    if engine == "trill":
+        return run_trill_e2e(ecg, abp, **kwargs)
+    if engine == "numlib":
+        return run_numlib_e2e(ecg, abp, **kwargs)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {E2E_ENGINES}")

@@ -1,0 +1,61 @@
+"""Tests for the distributed-style micro-batch engines (Table 1 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.microbatch import ENGINE_CONFIGS, MicroBatchEngine
+
+
+def small_join_workload():
+    left_times = np.arange(0, 4000, 2)
+    left_values = np.arange(left_times.size, dtype=np.float64)
+    right_times = np.arange(0, 4000, 8)
+    right_values = np.arange(right_times.size, dtype=np.float64)
+    return left_times, left_values, right_times, right_values
+
+
+class TestConfigs:
+    def test_all_three_engines_exist(self):
+        assert set(ENGINE_CONFIGS) == {"spark", "storm", "flink"}
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            MicroBatchEngine.from_name("samza")
+
+
+class TestTemporalJoin:
+    @pytest.mark.parametrize("name", ["spark", "storm", "flink"])
+    def test_join_output_is_correct(self, name):
+        engine = MicroBatchEngine.from_name(name)
+        left_times, left_values, right_times, right_values = small_join_workload()
+        results, stats = engine.temporal_join(
+            left_times, left_values, right_times, right_values, right_duration=8
+        )
+        assert len(results) == left_times.size
+        # Each right value is active for 8 ticks and pairs with 4 left events.
+        assert [r[2] for r in results[:8]] == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert stats.events_ingested == left_times.size + right_times.size
+
+    def test_scheduling_overhead_reduces_throughput(self):
+        left_times, left_values, right_times, right_values = small_join_workload()
+        storm = MicroBatchEngine.from_name("storm")
+        flink = MicroBatchEngine.from_name("flink")
+        _, storm_stats = storm.temporal_join(
+            left_times, left_values, right_times, right_values, 8
+        )
+        _, flink_stats = flink.temporal_join(
+            left_times, left_values, right_times, right_values, 8
+        )
+        # Storm's record-at-a-time acking model is the slowest of the three
+        # in Table 1; the reproduction preserves that ordering.
+        assert storm_stats.throughput_events_per_second < flink_stats.throughput_events_per_second
+
+
+class TestUpsample:
+    def test_upsample_factor(self):
+        engine = MicroBatchEngine.from_name("spark")
+        times = np.arange(0, 400, 8)
+        values = np.arange(times.size, dtype=np.float64)
+        results, stats = engine.upsample(times, values, factor=4)
+        assert len(results) == times.size * 4
+        assert stats.events_emitted == len(results)

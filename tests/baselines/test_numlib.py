@@ -1,0 +1,124 @@
+"""Tests for the NumLib baseline (hand-written NumPy/SciPy operations)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.numlib import (
+    fill_const,
+    fill_mean,
+    normalize,
+    passfilter,
+    pure_python_inner_join,
+    resample,
+    run_e2e_pipeline,
+    run_operation,
+)
+from repro.data.physio import generate_abp, generate_ecg
+
+
+class TestNormalize:
+    def test_each_window_is_standard_scored(self):
+        values = np.arange(100.0)
+        result = normalize(values, window_samples=50)
+        first = result[:50]
+        assert first.mean() == pytest.approx(0.0, abs=1e-12)
+        assert first.std() == pytest.approx(1.0)
+
+    def test_constant_window_maps_to_zero(self):
+        result = normalize(np.full(20, 5.0), window_samples=10)
+        np.testing.assert_allclose(result, 0.0)
+
+
+class TestPassFilter:
+    def test_attenuates_high_frequency(self):
+        fs = 500.0
+        t = np.arange(0, 4, 1 / fs)
+        low = np.sin(2 * np.pi * 2 * t)
+        high = 0.5 * np.sin(2 * np.pi * 120 * t)
+        filtered = passfilter(low + high, numtaps=101, cutoff_hz=40, sample_rate_hz=fs)
+        # After filtering, the high-frequency component should be mostly gone:
+        # accounting for the FIR group delay of (numtaps - 1) / 2 samples the
+        # filtered signal is close to the low-frequency component alone.
+        delay = 50
+        residual = np.abs(filtered[200 + delay : -200] - low[200 : -200 - delay]).mean()
+        assert residual < 0.1
+
+
+class TestFill:
+    def test_fill_const_fills_small_gaps(self):
+        times = np.array([0, 2, 4, 10, 12])
+        values = np.array([1.0, 1.0, 1.0, 2.0, 2.0])
+        new_times, new_values = fill_const(times, values, period=2, max_gap=10, constant=0.0)
+        np.testing.assert_array_equal(new_times, [0, 2, 4, 6, 8, 10, 12])
+        np.testing.assert_allclose(new_values[3:5], 0.0)
+
+    def test_fill_mean_uses_neighbouring_values(self):
+        times = np.array([0, 2, 8, 10])
+        values = np.array([1.0, 1.0, 3.0, 3.0])
+        _, new_values = fill_mean(times, values, period=2, max_gap=10)
+        np.testing.assert_allclose(new_values, [1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+
+    def test_large_gaps_left_alone(self):
+        times = np.array([0, 2, 1000, 1002])
+        values = np.array([1.0, 1.0, 2.0, 2.0])
+        new_times, _ = fill_const(times, values, period=2, max_gap=10, constant=0.0)
+        assert new_times.size == 4
+
+    def test_short_input_passthrough(self):
+        times = np.array([0])
+        values = np.array([1.0])
+        new_times, new_values = fill_mean(times, values, period=2, max_gap=10)
+        np.testing.assert_array_equal(new_times, times)
+
+
+class TestResample:
+    def test_upsampling_factor(self):
+        times = np.arange(0, 80, 8)
+        values = np.arange(10.0)
+        new_times, new_values = resample(times, values, new_period=2)
+        assert np.all(np.diff(new_times) == 2)
+        np.testing.assert_allclose(new_values[:5], [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_empty_input(self):
+        new_times, new_values = resample(np.array([], dtype=np.int64), np.array([]), 2)
+        assert new_times.size == 0
+
+
+class TestPurePythonJoin:
+    def test_matches_overlapping_events(self):
+        left_times = np.arange(0, 40, 2)
+        left_values = np.arange(20.0)
+        right_times = np.arange(0, 40, 8)
+        right_values = np.arange(5.0) * 10
+        times, lv, rv = pure_python_inner_join(
+            left_times, left_values, right_times, right_values, right_duration=8
+        )
+        assert times.size == 20
+        np.testing.assert_array_equal(rv[:8], [0, 0, 0, 0, 10, 10, 10, 10])
+
+    def test_no_matches(self):
+        times, lv, rv = pure_python_inner_join(
+            np.array([0, 2]), np.array([1.0, 1.0]), np.array([100]), np.array([5.0]), 8
+        )
+        assert times.size == 0
+
+
+class TestPipelines:
+    def test_run_operation_dispatch(self):
+        times, values = generate_ecg(10.0, seed=0)
+        for name in ("normalize", "passfilter", "fillconst", "fillmean", "resample"):
+            result, stats = run_operation(name, times, values, period=2)
+            assert result.size > 0
+            assert stats.elapsed_seconds >= 0
+
+    def test_run_operation_unknown_name(self):
+        with pytest.raises(ValueError):
+            run_operation("fft", np.array([0]), np.array([1.0]), period=2)
+
+    def test_e2e_pipeline_produces_joined_stream(self):
+        ecg = generate_ecg(20.0, seed=0)
+        abp = generate_abp(20.0, seed=1)
+        times, values, stats = run_e2e_pipeline(ecg[0], ecg[1], abp[0], abp[1])
+        assert times.size > 0
+        assert stats.events_ingested == ecg[0].size + abp[0].size
+        assert stats.throughput_events_per_second > 0

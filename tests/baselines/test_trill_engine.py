@@ -1,0 +1,201 @@
+"""Tests for the Trill-like baseline engine (batches, operators, joins, OOM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trill import (
+    EventBatch,
+    TrillChop,
+    TrillClipJoin,
+    TrillEngine,
+    TrillInput,
+    TrillJoin,
+    TrillResample,
+    TrillSelect,
+    TrillShift,
+    TrillTumblingAggregate,
+    TrillWhere,
+    TrillWindowTransform,
+    batches_from_arrays,
+    concatenate_batches,
+)
+from repro.errors import TrillOutOfMemoryError
+
+
+def ramp_input(n: int, period: int, offset: int = 0) -> TrillInput:
+    times = offset + np.arange(n, dtype=np.int64) * period
+    values = np.arange(n, dtype=np.float64)
+    return TrillInput(times, values, period)
+
+
+class TestEventBatch:
+    def test_batching_splits_and_preserves_order(self):
+        times = np.arange(0, 100, 2)
+        values = np.arange(50.0)
+        batches = list(batches_from_arrays(times, values, batch_size=16, period=2))
+        assert [len(batch) for batch in batches] == [16, 16, 16, 2]
+        merged_times, merged_values = concatenate_batches(batches)
+        np.testing.assert_array_equal(merged_times, times)
+        np.testing.assert_allclose(merged_values, values)
+
+    def test_empty_batch(self):
+        batch = EventBatch.empty()
+        assert batch.is_empty()
+        assert batch.time_span() == (0, 0)
+
+    def test_select_mask(self):
+        batch = EventBatch(np.array([0, 2, 4]), np.array([2, 2, 2]), np.array([1.0, 2.0, 3.0]))
+        filtered = batch.select(np.array([True, False, True]))
+        assert len(filtered) == 2
+        np.testing.assert_allclose(filtered.values, [1.0, 3.0])
+
+    def test_concatenate_empty_list(self):
+        times, values = concatenate_batches([])
+        assert times.size == 0 and values.size == 0
+
+
+class TestUnaryPipelines:
+    def test_select(self):
+        engine = TrillEngine(batch_size=64)
+        times, values, stats = engine.run_unary(
+            ramp_input(1000, 2), [TrillSelect(lambda v: v * 2)]
+        )
+        assert stats.events_ingested == 1000
+        np.testing.assert_allclose(values, np.arange(1000.0) * 2)
+
+    def test_where(self):
+        engine = TrillEngine(batch_size=64)
+        times, values, _ = engine.run_unary(
+            ramp_input(1000, 2), [TrillWhere(lambda v: v < 100)]
+        )
+        assert values.max() < 100
+        assert times.size == 100
+
+    def test_shift(self):
+        engine = TrillEngine(batch_size=64)
+        times, _, _ = engine.run_unary(ramp_input(100, 2), [TrillShift(50)])
+        np.testing.assert_array_equal(times, np.arange(100) * 2 + 50)
+
+    def test_tumbling_aggregate_matches_numpy(self):
+        engine = TrillEngine(batch_size=64)
+        times, values, _ = engine.run_unary(
+            ramp_input(1000, 2), [TrillTumblingAggregate(window=100, func="mean")]
+        )
+        assert times.size == 20
+        expected = np.arange(1000.0).reshape(20, 50).mean(axis=1)
+        np.testing.assert_allclose(values, expected)
+
+    def test_aggregate_spanning_batch_boundary(self):
+        # Window of 100 ticks = 50 events, batch size 16: every window spans
+        # several batches and must still aggregate exactly once.
+        engine = TrillEngine(batch_size=16)
+        times, values, _ = engine.run_unary(
+            ramp_input(500, 2), [TrillTumblingAggregate(window=100, func="sum")]
+        )
+        expected = np.arange(500.0).reshape(10, 50).sum(axis=1)
+        np.testing.assert_allclose(values, expected)
+
+    def test_chop_splits_durations(self):
+        engine = TrillEngine(batch_size=8)
+        source = TrillInput(np.array([0, 10]), np.array([1.0, 2.0]), period=10)
+        times, values, _ = engine.run_unary(source, [TrillChop(2)])
+        assert times.size == 10
+        np.testing.assert_array_equal(times, np.arange(0, 20, 2))
+
+    def test_resample_interpolates(self):
+        engine = TrillEngine(batch_size=4096)
+        times, values, _ = engine.run_unary(ramp_input(100, 8), [TrillResample(2)])
+        assert np.all(np.diff(times) == 2)
+        np.testing.assert_allclose(values[:5], [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_window_transform(self):
+        engine = TrillEngine(batch_size=64)
+
+        def center(times, values):
+            return times, values - values.mean()
+
+        _, values, _ = engine.run_unary(ramp_input(500, 2), [TrillWindowTransform(100, center)])
+        np.testing.assert_allclose(values[:50], np.arange(50.0) - 24.5)
+
+    def test_operator_chain(self):
+        engine = TrillEngine(batch_size=64)
+        times, values, _ = engine.run_unary(
+            ramp_input(200, 2),
+            [TrillSelect(lambda v: v * 2), TrillWhere(lambda v: v % 4 == 0)],
+        )
+        assert np.all(values % 4 == 0)
+
+
+class TestJoin:
+    def test_equal_rate_join(self):
+        engine = TrillEngine(batch_size=64)
+        left = ramp_input(500, 2)
+        right = ramp_input(500, 2)
+        times, values, stats = engine.run_join(
+            left, right, [], [], TrillJoin(lambda l, r: l - r)
+        )
+        assert times.size == 500
+        np.testing.assert_allclose(values, 0.0)
+
+    def test_mixed_rate_join_matches_lifestream_semantics(self):
+        engine = TrillEngine(batch_size=64)
+        left = ramp_input(400, 2)
+        right = ramp_input(100, 8)
+        times, values, _ = engine.run_join(left, right, [], [], TrillJoin(lambda l, r: r))
+        assert times.size == 400
+        np.testing.assert_array_equal(values[:8], [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_join_with_side_transforms(self):
+        engine = TrillEngine(batch_size=64)
+        left = ramp_input(400, 2)
+        right = ramp_input(100, 8)
+        times, values, _ = engine.run_join(
+            left,
+            right,
+            [TrillSelect(lambda v: v * 10)],
+            [TrillSelect(lambda v: v * 100)],
+            TrillJoin(lambda l, r: l + r),
+        )
+        np.testing.assert_allclose(values[:4], [0.0, 10.0, 20.0, 30.0])
+
+    def test_divergent_streams_grow_join_state(self):
+        engine = TrillEngine(batch_size=32)
+        # Left only covers the first quarter of the right stream's span, so
+        # the right side keeps buffering while waiting for left progress.
+        left = ramp_input(100, 2)
+        right = ramp_input(4000, 2)
+        join = TrillJoin()
+        engine.run_join(left, right, [], [], join)
+        assert join.peak_state_bytes > 0
+
+    def test_out_of_memory_on_divergence(self):
+        engine = TrillEngine(batch_size=32, memory_budget_bytes=10_000)
+        left = TrillInput(np.array([0, 2]), np.array([1.0, 1.0]), period=2)
+        right = ramp_input(20_000, 2)
+        with pytest.raises(TrillOutOfMemoryError):
+            engine.run_join(left, right, [], [], TrillJoin())
+
+    def test_clip_join(self):
+        engine = TrillEngine(batch_size=16)
+        left = TrillInput(np.arange(0, 1000, 100), np.arange(10.0), period=100)
+        right = TrillInput(np.arange(50, 1050, 100), np.arange(10.0) * 10, period=100)
+        times, values, _ = engine.run_join(left, right, [], [], TrillClipJoin(lambda l, r: r))
+        assert times.size == 10
+        np.testing.assert_allclose(values, np.arange(10.0) * 10)
+
+
+class TestDynamicAllocationBehaviour:
+    def test_every_operator_output_is_a_fresh_allocation(self):
+        from repro.memsim import AccessTracer
+
+        tracer = AccessTracer(sample_stride=1)
+        engine = TrillEngine(batch_size=64, tracer=tracer)
+        engine.run_unary(ramp_input(1000, 2), [TrillSelect(lambda v: v, tracer=tracer)])
+        # Ingest batches + select outputs: allocation count grows with the
+        # number of batches, not with the number of buffers in the plan.
+        assert tracer.allocation_count >= 2 * (1000 // 64)
+
+    def test_throughput_property(self):
+        engine = TrillEngine(batch_size=256)
+        _, _, stats = engine.run_unary(ramp_input(5000, 2), [TrillSelect(lambda v: v)])
+        assert stats.throughput_events_per_second > 0

@@ -1,0 +1,89 @@
+"""Unit tests for constrained DTW and shape matching."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtw import constrained_dtw, dtw_profile, match_shape
+
+
+class TestConstrainedDtw:
+    def test_identical_sequences_have_zero_distance(self):
+        sequence = np.sin(np.linspace(0, 3, 50))
+        assert constrained_dtw(sequence, sequence) == pytest.approx(0.0, abs=1e-12)
+
+    def test_distance_is_symmetric_enough_for_matching(self):
+        a = np.sin(np.linspace(0, 3, 40))
+        b = a + 0.1
+        forward = constrained_dtw(a, b)
+        backward = constrained_dtw(b, a)
+        assert forward == pytest.approx(backward, rel=0.2)
+
+    def test_constant_offset_gives_proportional_distance(self):
+        a = np.zeros(20)
+        b = np.full(20, 2.0)
+        # Every aligned pair differs by 2; normalised by path length.
+        assert constrained_dtw(a, b) == pytest.approx(2.0 * 20 / 40, rel=0.2)
+
+    def test_time_warped_copy_is_close(self):
+        base = np.sin(np.linspace(0, 2 * np.pi, 60))
+        warped = np.sin(np.linspace(0, 2 * np.pi, 72))  # same shape, stretched
+        different = np.cos(np.linspace(0, 6 * np.pi, 60)) * 3
+        assert constrained_dtw(warped, base, band_fraction=0.3) < constrained_dtw(
+            different, base, band_fraction=0.3
+        )
+
+    def test_empty_sequence_is_infinite(self):
+        assert constrained_dtw(np.array([]), np.ones(5)) == float("inf")
+
+    def test_unnormalized_distance_scales_with_length(self):
+        a = np.zeros(10)
+        b = np.ones(10)
+        short = constrained_dtw(a, b, normalize=False)
+        long = constrained_dtw(np.zeros(20), np.ones(20), normalize=False)
+        assert long > short
+
+
+class TestDtwProfile:
+    def test_profile_minimum_at_embedded_shape(self):
+        rng = np.random.default_rng(0)
+        shape = np.concatenate([np.zeros(10), np.ones(20), np.zeros(10)])
+        signal = rng.normal(0, 0.2, 400)
+        signal[200:240] = shape + rng.normal(0, 0.02, 40)
+        starts, distances = dtw_profile(signal, shape, stride=5)
+        best_start = starts[np.argmin(distances)]
+        assert abs(best_start - 200) <= 10
+
+    def test_profile_empty_for_short_signal(self):
+        starts, distances = dtw_profile(np.zeros(5), np.zeros(10))
+        assert starts.size == 0
+        assert distances.size == 0
+
+    def test_profile_stride_controls_candidates(self):
+        signal = np.zeros(100)
+        shape = np.zeros(10)
+        dense, _ = dtw_profile(signal, shape, stride=1)
+        sparse, _ = dtw_profile(signal, shape, stride=10)
+        assert dense.size > sparse.size
+
+
+class TestMatchShape:
+    def test_finds_single_region(self):
+        signal = np.zeros(300)
+        shape = np.concatenate([np.linspace(0, 5, 15), np.linspace(5, 0, 15)])
+        signal[100:130] = shape
+        regions = match_shape(signal, shape, threshold=0.2, stride=5)
+        assert len(regions) == 1
+        start, end = regions[0]
+        assert start <= 100 < end
+
+    def test_no_match_above_threshold(self):
+        signal = np.zeros(300)
+        shape = np.full(30, 10.0)
+        regions = match_shape(signal, shape, threshold=0.5, stride=5)
+        assert regions == []
+
+    def test_overlapping_matches_merge(self):
+        shape = np.ones(20)
+        signal = np.concatenate([np.zeros(50), np.ones(60), np.zeros(50)])
+        regions = match_shape(signal, shape, threshold=0.05, stride=5)
+        assert len(regions) == 1

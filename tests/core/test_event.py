@@ -1,0 +1,88 @@
+"""Unit tests for the periodic stream data model (StreamDescriptor, Event)."""
+
+import pytest
+
+from repro.core.event import Event, StreamDescriptor
+from repro.errors import StreamDefinitionError
+
+
+class TestStreamDescriptor:
+    def test_from_frequency(self):
+        descriptor = StreamDescriptor.from_frequency(500)
+        assert descriptor.period == 2
+        assert descriptor.offset == 0
+
+    def test_frequency_round_trip(self):
+        descriptor = StreamDescriptor(offset=0, period=8)
+        assert descriptor.frequency_hz == pytest.approx(125.0)
+
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(StreamDefinitionError):
+            StreamDescriptor(offset=0, period=0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(StreamDefinitionError):
+            StreamDescriptor(offset=-1, period=2)
+
+    def test_grid_index_and_time_round_trip(self):
+        descriptor = StreamDescriptor(offset=4, period=8)
+        for index in (0, 1, 5, 100):
+            assert descriptor.grid_index(descriptor.grid_time(index)) == index
+
+    def test_grid_index_rejects_off_grid_time(self):
+        descriptor = StreamDescriptor(offset=0, period=8)
+        with pytest.raises(StreamDefinitionError):
+            descriptor.grid_index(5)
+
+    def test_is_on_grid(self):
+        descriptor = StreamDescriptor(offset=2, period=8)
+        assert descriptor.is_on_grid(2)
+        assert descriptor.is_on_grid(10)
+        assert not descriptor.is_on_grid(8)
+
+    def test_align_down(self):
+        descriptor = StreamDescriptor(offset=2, period=8)
+        assert descriptor.align_down(17) == 10
+
+    def test_events_per_bounded_memory_property(self):
+        descriptor = StreamDescriptor(offset=0, period=2)
+        # The bounded-footprint property: at most d / p events per interval.
+        assert descriptor.events_per(1000) == 500
+
+    def test_events_per_rejects_misaligned_duration(self):
+        descriptor = StreamDescriptor(offset=0, period=8)
+        with pytest.raises(StreamDefinitionError):
+            descriptor.events_per(1001)
+
+    def test_with_offset_and_period(self):
+        descriptor = StreamDescriptor(offset=0, period=2)
+        assert descriptor.with_offset(4).offset == 4
+        assert descriptor.with_period(8).period == 8
+
+    def test_str_matches_paper_notation(self):
+        assert str(StreamDescriptor(offset=0, period=2)) == "(0,2)"
+
+
+class TestEvent:
+    def test_end_time(self):
+        event = Event(sync_time=10, duration=5, value=1.0)
+        assert event.end_time == 15
+
+    def test_is_active_at(self):
+        event = Event(sync_time=10, duration=5, value=1.0)
+        assert event.is_active_at(10)
+        assert event.is_active_at(14)
+        assert not event.is_active_at(15)
+        assert not event.is_active_at(9)
+
+    def test_overlaps(self):
+        a = Event(sync_time=0, duration=10, value=0.0)
+        b = Event(sync_time=5, duration=10, value=0.0)
+        c = Event(sync_time=10, duration=10, value=0.0)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(StreamDefinitionError):
+            Event(sync_time=0, duration=0, value=1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the plan-graph utilities (nodes, traversal, plan dumps)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import build_plan, compile_plan
+from repro.core.graph import (
+    OperatorNode,
+    SourceNode,
+    describe_plan,
+    operator_nodes,
+    plan_fragmentation,
+    source_nodes,
+    topological_order,
+    total_preallocated_bytes,
+)
+from repro.core.operators import Join, Select
+from repro.core.query import Query
+from repro.errors import CompilationError, ExecutionError
+
+from tests.conftest import make_source
+
+
+@pytest.fixture
+def compiled_join_plan(ramp_500hz, ramp_125hz):
+    query = Query.source("a", frequency_hz=500).select(lambda v: v).join(
+        Query.source("b", frequency_hz=125)
+    )
+    return compile_plan(query, {"a": ramp_500hz, "b": ramp_125hz}, window_size=1000)
+
+
+class TestTraversal:
+    def test_topological_order_puts_sources_first(self, compiled_join_plan):
+        order = topological_order(compiled_join_plan.sink)
+        kinds = [type(node).__name__ for node in order]
+        # Both sources appear before the join (the last node).
+        assert kinds[-1] == "OperatorNode"
+        assert kinds.count("SourceNode") == 2
+        first_operator = next(i for i, k in enumerate(kinds) if k == "OperatorNode")
+        assert all(k == "SourceNode" for k in kinds[: first_operator - 0] if k == "SourceNode")
+
+    def test_inputs_precede_consumers(self, compiled_join_plan):
+        order = topological_order(compiled_join_plan.sink)
+        positions = {id(node): index for index, node in enumerate(order)}
+        for node in order:
+            for upstream in node.inputs:
+                assert positions[id(upstream)] < positions[id(node)]
+
+    def test_shared_multicast_node_appears_once(self, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).multicast(
+            lambda s: s.join(s.tumbling_window(100).mean(), lambda v, m: v - m)
+        )
+        sink = build_plan(query, {"s": ramp_500hz})
+        assert len(source_nodes(sink)) == 1
+        assert len(topological_order(sink)) == 3  # source + aggregate + join
+
+    def test_source_and_operator_helpers(self, compiled_join_plan):
+        sink = compiled_join_plan.sink
+        assert len(source_nodes(sink)) == 2
+        names = {type(op.operator).__name__ for op in operator_nodes(sink)}
+        assert names == {"Select", "Join"}
+
+
+class TestNodeBehaviour:
+    def test_operator_node_checks_arity(self, ramp_500hz):
+        source_node = SourceNode("s", ramp_500hz)
+        with pytest.raises(CompilationError):
+            OperatorNode("bad", Join(), [source_node])
+        with pytest.raises(CompilationError):
+            OperatorNode("bad", Select(lambda v: v), [source_node, source_node])
+
+    def test_fill_before_compilation_is_an_error(self, ramp_500hz):
+        node = SourceNode("s", ramp_500hz)
+        with pytest.raises(ExecutionError):
+            node.fill(0)
+
+    def test_fill_is_cached_per_sync_time(self, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).select(lambda v: v)
+        plan = compile_plan(query, {"s": ramp_500hz}, window_size=1000)
+        sink = plan.sink
+        for node in topological_order(sink):
+            node.reset()
+        sink.fill(0)
+        sink.fill(0)  # second call must not recompute
+        assert sink.windows_computed == 1
+
+    def test_reset_clears_counters_and_state(self, compiled_join_plan):
+        sink = compiled_join_plan.sink
+        for node in topological_order(sink):
+            node.reset()
+        sink.fill(0)
+        assert sink.windows_computed == 1
+        for node in topological_order(sink):
+            node.reset()
+        assert all(node.windows_computed == 0 for node in topological_order(sink))
+
+
+class TestPlanDescriptions:
+    def test_describe_plan_lists_every_node(self, compiled_join_plan):
+        text = describe_plan(compiled_join_plan.sink)
+        assert len(text.splitlines()) == len(topological_order(compiled_join_plan.sink))
+        assert "<-" in text
+
+    def test_total_preallocated_bytes_matches_memory_plan(self, compiled_join_plan):
+        assert (
+            total_preallocated_bytes(compiled_join_plan.sink)
+            == compiled_join_plan.memory_plan.total_bytes
+        )
+
+    def test_plan_fragmentation_is_zero_on_dense_data(self, compiled_join_plan):
+        sink = compiled_join_plan.sink
+        for node in topological_order(sink):
+            node.reset()
+        sink.fill(0)
+        assert plan_fragmentation(sink) == 0.0
+
+    def test_plan_fragmentation_sees_interior_holes(self):
+        # A stream with a single missing event inside the window.
+        times = np.array([0, 2, 6, 8], dtype=np.int64)
+        source = make_source(4, period=2)
+        from repro.core.sources import ArraySource
+
+        gappy = ArraySource(times, np.ones(4), period=2)
+        query = Query.source("s", frequency_hz=500).select(lambda v: v)
+        plan = compile_plan(query, {"s": gappy}, window_size=10)
+        sink = plan.sink
+        for node in topological_order(sink):
+            node.reset()
+        sink.fill(0)
+        assert plan_fragmentation(sink) > 0.0
+        assert source.event_count() == 4  # the helper fixture stays untouched

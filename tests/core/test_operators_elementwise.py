@@ -1,0 +1,122 @@
+"""Unit tests for Select, Where, Shift and AlterDuration via the query API."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import LifeStreamEngine
+from repro.core.query import Query
+from repro.errors import QueryConstructionError
+
+from tests.conftest import make_source
+
+
+class TestSelect:
+    def test_projection_applied_to_every_event(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).select(lambda v: v * 3 + 1)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert len(result) == ramp_500hz.event_count()
+        np.testing.assert_allclose(result.values, ramp_500hz.values * 3 + 1)
+
+    def test_times_are_preserved(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).select(lambda v: v)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_array_equal(result.times, ramp_500hz.times)
+
+    def test_non_vectorized_projection(self, engine):
+        source = make_source(100, period=2)
+        query = Query.source("s", frequency_hz=500).select(lambda v: v + 1, vectorized=False)
+        result = engine.run(query, sources={"s": source})
+        np.testing.assert_allclose(result.values, source.values + 1)
+
+    def test_chained_selects_compose(self, engine, ramp_500hz):
+        query = (
+            Query.source("s", frequency_hz=500)
+            .select(lambda v: v * 2)
+            .select(lambda v: v - 1)
+        )
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_allclose(result.values, ramp_500hz.values * 2 - 1)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).select("not callable")
+
+
+class TestWhere:
+    def test_filters_by_predicate(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).where(lambda v: v < 100)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert len(result) == 100
+        assert result.values.max() < 100
+
+    def test_keeps_everything_with_true_predicate(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).where(lambda v: v >= 0)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert len(result) == ramp_500hz.event_count()
+
+    def test_empty_result_with_false_predicate(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).where(lambda v: v < 0)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert len(result) == 0
+
+    def test_filtered_events_keep_original_payload(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).where(lambda v: (v % 2) == 0)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert np.all(result.values % 2 == 0)
+
+    def test_where_then_select(self, engine, ramp_500hz):
+        query = (
+            Query.source("s", frequency_hz=500)
+            .where(lambda v: v < 10)
+            .select(lambda v: v * 10)
+        )
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_allclose(result.values, np.arange(10.0) * 10)
+
+
+class TestShift:
+    def test_shift_moves_sync_times(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).shift(100)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_array_equal(result.times, ramp_500hz.times + 100)
+        np.testing.assert_allclose(result.values, ramp_500hz.values)
+
+    def test_shift_by_non_multiple_of_period(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).shift(3)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_array_equal(result.times, ramp_500hz.times + 3)
+
+    def test_shift_composes_with_select(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).shift(10).select(lambda v: v + 1)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_array_equal(result.times, ramp_500hz.times + 10)
+        np.testing.assert_allclose(result.values, ramp_500hz.values + 1)
+
+    def test_shift_join_with_unshifted_self(self, engine):
+        # Joining a stream with a shifted copy of itself pairs each event
+        # with the value one period earlier (a common derived-variable trick).
+        source = make_source(1000, period=2)
+        base = Query.source("s", frequency_hz=500)
+        query = base.multicast(
+            lambda s: s.join(s.shift(2), lambda current, previous: current - previous)
+        )
+        result = engine.run(query, sources={"s": source})
+        # The first slot has no shifted predecessor, so the inner join drops it.
+        assert len(result) == 999
+        assert np.all(result.values == 1.0)
+
+
+class TestAlterDuration:
+    def test_durations_are_replaced(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).alter_duration(10)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert np.all(result.durations == 10)
+
+    def test_values_unchanged(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).alter_duration(10)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_allclose(result.values, ramp_500hz.values)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            Query.source("s", frequency_hz=500).alter_duration(0)

@@ -1,0 +1,101 @@
+"""Unit tests for AlterPeriod (resampling) and Chop."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import Query
+from repro.errors import QueryConstructionError
+
+from tests.conftest import make_source
+
+
+class TestAlterPeriodUpsample:
+    def test_hold_upsampling_repeats_values(self, engine, ramp_125hz):
+        query = Query.source("s", frequency_hz=125).alter_period(2, mode="hold")
+        result = engine.run(query, sources={"s": ramp_125hz})
+        assert len(result) == ramp_125hz.event_count() * 4
+        np.testing.assert_array_equal(result.values[:8], [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_upsampled_times_are_on_new_grid(self, engine, ramp_125hz):
+        query = Query.source("s", frequency_hz=125).alter_period(2, mode="hold")
+        result = engine.run(query, sources={"s": ramp_125hz})
+        assert np.all(np.diff(result.times) == 2)
+
+    def test_interpolated_upsampling_is_linear(self, engine, ramp_125hz):
+        query = Query.source("s", frequency_hz=125).resample(frequency_hz=500)
+        result = engine.run(query, sources={"s": ramp_125hz})
+        # Values ramp 0, 1, 2, ... at 8-tick spacing; interpolating to 2-tick
+        # spacing gives increments of 0.25 inside each original interval.
+        np.testing.assert_allclose(result.values[:9], np.arange(9) * 0.25)
+
+    def test_durations_become_new_period(self, engine, ramp_125hz):
+        query = Query.source("s", frequency_hz=125).alter_period(2, mode="hold")
+        result = engine.run(query, sources={"s": ramp_125hz})
+        assert np.all(result.durations == 2)
+
+    def test_same_period_is_identity(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).alter_period(2)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_array_equal(result.times, ramp_500hz.times)
+        np.testing.assert_allclose(result.values, ramp_500hz.values)
+
+
+class TestAlterPeriodDownsample:
+    def test_downsampling_keeps_every_nth_event(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).alter_period(8)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert len(result) == ramp_500hz.event_count() // 4
+        np.testing.assert_allclose(result.values, ramp_500hz.values[::4])
+
+    def test_downsampled_times_are_on_new_grid(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).alter_period(8)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert np.all(result.times % 8 == 0)
+
+    def test_non_divisible_periods_fall_back_to_sampling(self, engine, ramp_500hz):
+        # 2 -> 5 ticks is neither an integer up- nor down-sampling factor.
+        query = Query.source("s", frequency_hz=500).alter_period(5)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert np.all(result.times % 5 == 0)
+        assert len(result) > 0
+
+
+class TestResampleValidation:
+    def test_resample_requires_exactly_one_target(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).resample()
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).resample(period=2, frequency_hz=500)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).alter_period(4, mode="cubic")
+
+    def test_non_positive_period_rejected(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).alter_period(0)
+
+
+class TestChop:
+    def test_chop_splits_long_duration_events(self, engine, ramp_500hz):
+        # Aggregate to 100-tick events (duration 100), then chop back to the
+        # original 2-tick grid: every aggregate value appears 50 times.
+        query = Query.source("s", frequency_hz=500).tumbling_window(100).mean().chop(2)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert len(result) == ramp_500hz.event_count()
+        np.testing.assert_allclose(result.values[:50], 24.5)
+        np.testing.assert_allclose(result.values[50:100], 74.5)
+
+    def test_chop_durations_equal_chop_period(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).tumbling_window(100).mean().chop(2)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        assert np.all(result.durations == 2)
+
+    def test_chop_same_period_is_identity_on_values(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).chop(2)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_allclose(result.values, ramp_500hz.values)
+
+    def test_chop_rejects_bad_period(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).chop(-1)

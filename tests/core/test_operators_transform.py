@@ -1,0 +1,156 @@
+"""Unit tests for the generic Transform operator and ShapeWhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import Query
+from repro.data.artifacts import inject_line_zero, line_zero_template
+from repro.data.physio import generate_abp
+from repro.errors import QueryConstructionError
+
+from tests.conftest import make_source
+
+
+class TestTransform:
+    def test_values_only_transform(self, engine, ramp_500hz):
+        query = Query.source("s", frequency_hz=500).transform(100, lambda v, m: v * 2)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        np.testing.assert_allclose(result.values, ramp_500hz.values * 2)
+
+    def test_transform_preserves_presence_by_default(self, engine, gappy_500hz):
+        query = Query.source("s", frequency_hz=500).transform(100, lambda v, m: v + 1)
+        result = engine.run(query, sources={"s": gappy_500hz})
+        assert len(result) == gappy_500hz.event_count()
+
+    def test_transform_can_change_presence(self, engine, gappy_500hz):
+        def materialise_everything(values, mask):
+            return np.zeros_like(values), np.ones_like(mask)
+
+        query = Query.source("s", frequency_hz=500).transform(1000, materialise_everything)
+        # Under targeted execution only windows with source data are computed,
+        # so the materialised events appear there and nowhere else.
+        targeted = engine.run(query, sources={"s": gappy_500hz})
+        assert len(targeted) == gappy_500hz.event_count()
+        # Eager execution processes the gap windows too, so the transform
+        # materialises events across the whole span (5,000 grid slots).
+        eager = engine.run(query, sources={"s": gappy_500hz}, targeted=False)
+        assert len(eager) == 5000
+
+    def test_transform_window_receives_exact_chunk(self, engine, ramp_500hz):
+        seen_lengths = []
+
+        def probe(values, mask):
+            seen_lengths.append(values.size)
+            return values
+
+        query = Query.source("s", frequency_hz=500).transform(200, probe)
+        engine.run(query, sources={"s": ramp_500hz})
+        assert set(seen_lengths) == {100}  # 200 ticks / period 2
+
+    def test_per_window_statistics_are_local(self, engine, ramp_500hz):
+        def center(values, mask):
+            return values - values[mask].mean() if mask.any() else values
+
+        query = Query.source("s", frequency_hz=500).transform(100, center)
+        result = engine.run(query, sources={"s": ramp_500hz})
+        # Every 50-sample chunk is centred on its own mean.
+        np.testing.assert_allclose(result.values[:50], np.arange(50) - 24.5)
+
+    def test_window_must_be_multiple_of_period(self, engine, ramp_125hz):
+        query = Query.source("s", frequency_hz=125).transform(100, lambda v, m: v)
+        with pytest.raises(QueryConstructionError):
+            engine.run(query, sources={"s": ramp_125hz})
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).transform(0, lambda v, m: v)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).transform(100, "nope")
+
+
+class TestShapeWhere:
+    @pytest.fixture
+    def abp_with_artifacts(self):
+        times, values = generate_abp(90.0, seed=3)
+        corrupted, artifacts = inject_line_zero(values, n_artifacts=3, seed=4)
+        return times, corrupted, artifacts
+
+    def test_keep_mode_returns_only_matching_regions(self, abp_with_artifacts):
+        from repro.core.engine import LifeStreamEngine
+
+        times, values, artifacts = abp_with_artifacts
+        from repro.core.sources import ArraySource
+
+        source = ArraySource(times, values, period=8)
+        query = Query.source("abp", frequency_hz=125).where_shape(
+            line_zero_template(), threshold=0.05, mode="keep"
+        )
+        result = LifeStreamEngine(window_size=60_000).run(query, sources={"abp": source})
+        detected_indices = set((result.times // 8).tolist())
+        for artifact in artifacts:
+            overlap = detected_indices & set(range(artifact.start_index, artifact.end_index))
+            assert overlap, f"artifact at {artifact.start_index} was not detected"
+
+    def test_remove_mode_drops_matching_regions(self, abp_with_artifacts):
+        from repro.core.engine import LifeStreamEngine
+        from repro.core.sources import ArraySource
+
+        times, values, artifacts = abp_with_artifacts
+        source = ArraySource(times, values, period=8)
+        query = Query.source("abp", frequency_hz=125).where_shape(
+            line_zero_template(), threshold=0.05, mode="remove"
+        )
+        result = LifeStreamEngine(window_size=60_000).run(query, sources={"abp": source})
+        assert len(result) < times.size
+        removed = times.size - len(result)
+        total_artifact_samples = sum(a.length for a in artifacts)
+        # Everything removed should be in the vicinity of injected artifacts.
+        assert removed <= 3 * total_artifact_samples
+
+    def test_keep_plus_remove_partition_the_stream(self, abp_with_artifacts):
+        from repro.core.engine import LifeStreamEngine
+        from repro.core.sources import ArraySource
+
+        times, values, _ = abp_with_artifacts
+        source = ArraySource(times, values, period=8)
+        engine = LifeStreamEngine(window_size=60_000)
+        kept = engine.run(
+            Query.source("abp", frequency_hz=125).where_shape(
+                line_zero_template(), threshold=0.05, mode="keep"
+            ),
+            sources={"abp": source},
+        )
+        removed = engine.run(
+            Query.source("abp", frequency_hz=125).where_shape(
+                line_zero_template(), threshold=0.05, mode="remove"
+            ),
+            sources={"abp": source},
+        )
+        assert len(kept) + len(removed) == times.size
+
+    def test_mark_mode_emits_indicator_payload(self, abp_with_artifacts):
+        from repro.core.engine import LifeStreamEngine
+        from repro.core.sources import ArraySource
+
+        times, values, _ = abp_with_artifacts
+        source = ArraySource(times, values, period=8)
+        query = Query.source("abp", frequency_hz=125).where_shape(
+            line_zero_template(), threshold=0.05, mode="mark"
+        )
+        result = LifeStreamEngine(window_size=60_000).run(query, sources={"abp": source})
+        assert set(np.unique(result.values)) <= {0.0, 1.0}
+        assert len(result) == times.size
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=125).where_shape(np.array([1.0]), threshold=0.1)
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=125).where_shape(
+                line_zero_template(), threshold=-1.0
+            )
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=125).where_shape(
+                line_zero_template(), threshold=0.1, mode="explode"
+            )

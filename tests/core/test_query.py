@@ -1,0 +1,96 @@
+"""Unit tests for the query builder (construction only, no execution)."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.errors import QueryConstructionError
+
+
+class TestSourceDeclaration:
+    def test_source_by_frequency(self):
+        query = Query.source("ecg", frequency_hz=500)
+        assert query.spec.declared_descriptor.period == 2
+
+    def test_source_by_period(self):
+        query = Query.source("ecg", period=8)
+        assert query.spec.declared_descriptor.period == 8
+
+    def test_source_without_declaration(self):
+        query = Query.source("ecg")
+        assert query.spec.declared_descriptor is None
+
+    def test_source_rejects_both_frequency_and_period(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("ecg", frequency_hz=500, period=2)
+
+    def test_from_source_binds_object(self, ramp_500hz):
+        query = Query.from_source(ramp_500hz, name="bound")
+        assert query.spec.bound_source is ramp_500hz
+        assert query.source_names() == set()
+
+    def test_source_names_collects_all_named_sources(self):
+        query = Query.source("a", frequency_hz=500).join(Query.source("b", frequency_hz=125))
+        assert query.source_names() == {"a", "b"}
+
+
+class TestComposition:
+    def test_queries_are_immutable_building_blocks(self):
+        base = Query.source("s", frequency_hz=500)
+        derived = base.select(lambda v: v + 1)
+        assert base.spec is not derived.spec
+        assert base.operator_count() == 0
+        assert derived.operator_count() == 1
+
+    def test_operator_count_grows_with_chain(self):
+        query = (
+            Query.source("s", frequency_hz=500)
+            .select(lambda v: v)
+            .where(lambda v: v > 0)
+            .tumbling_window(100)
+            .mean()
+        )
+        assert query.operator_count() == 3
+
+    def test_multicast_shares_the_forked_node(self):
+        base = Query.source("s", frequency_hz=500)
+        query = base.multicast(
+            lambda s: s.join(s.tumbling_window(100).mean(), lambda v, m: v - m)
+        )
+        # select/aggregate/join reference the same underlying source spec, so
+        # the join's two branches share a node rather than duplicating it.
+        assert query.operator_count() == 2  # aggregate + join
+
+    def test_multicast_requires_callable(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).multicast("not callable")
+
+    def test_multicast_must_return_query(self):
+        with pytest.raises(QueryConstructionError):
+            Query.source("s", frequency_hz=500).multicast(lambda s: 42)
+
+    def test_windowed_builder_exposes_standard_aggregates(self):
+        windowed = Query.source("s", frequency_hz=500).tumbling_window(100)
+        for method in ("mean", "sum", "max", "min", "std", "count", "first", "last"):
+            query = getattr(windowed, method)()
+            assert query.operator_count() == 1
+
+    def test_repr_mentions_sources(self):
+        query = Query.source("ecg", frequency_hz=500).select(lambda v: v)
+        assert "ecg" in repr(query)
+
+
+class TestValidationAtCompileTime:
+    def test_missing_source_detected(self, engine):
+        query = Query.source("ecg", frequency_hz=500).select(lambda v: v)
+        with pytest.raises(QueryConstructionError, match="ecg"):
+            engine.compile(query, sources={})
+
+    def test_mismatched_declared_period_detected(self, engine, ramp_125hz):
+        query = Query.source("ecg", frequency_hz=500).select(lambda v: v)
+        with pytest.raises(QueryConstructionError, match="period"):
+            engine.compile(query, sources={"ecg": ramp_125hz})
+
+    def test_bound_source_needs_no_mapping(self, engine, ramp_500hz):
+        query = Query.from_source(ramp_500hz).select(lambda v: v * 2)
+        result = engine.run(query)
+        assert len(result) == ramp_500hz.event_count()

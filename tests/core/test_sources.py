@@ -1,0 +1,106 @@
+"""Unit tests for stream sources (array, CSV, replay)."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import IntervalSet
+from repro.core.sources import ArraySource, CsvSource, ReplaySource, write_csv
+from repro.errors import StreamDefinitionError
+
+
+class TestArraySource:
+    def test_descriptor_from_period(self):
+        source = ArraySource(np.array([0, 2, 4]), np.array([1.0, 2.0, 3.0]), period=2)
+        assert source.descriptor.period == 2
+        assert source.descriptor.offset == 0
+
+    def test_offset_inferred_from_first_timestamp(self):
+        source = ArraySource(np.array([6, 8, 10]), np.zeros(3), period=2)
+        assert source.descriptor.offset == 0  # 6 % 2 == 0
+
+        source = ArraySource(np.array([5, 13]), np.zeros(2), period=8)
+        assert source.descriptor.offset == 5
+
+    def test_misaligned_timestamps_rejected(self):
+        with pytest.raises(StreamDefinitionError):
+            ArraySource(np.array([0, 3]), np.zeros(2), period=2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(StreamDefinitionError):
+            ArraySource(np.array([0, 2]), np.zeros(3), period=2)
+
+    def test_unsorted_input_is_sorted(self):
+        source = ArraySource(np.array([4, 0, 2]), np.array([3.0, 1.0, 2.0]), period=2)
+        np.testing.assert_array_equal(source.times, [0, 2, 4])
+        np.testing.assert_array_equal(source.values, [1.0, 2.0, 3.0])
+
+    def test_read_half_open_interval(self):
+        source = ArraySource(np.arange(0, 20, 2), np.arange(10.0), period=2)
+        times, values, durations = source.read(4, 10)
+        np.testing.assert_array_equal(times, [4, 6, 8])
+        np.testing.assert_array_equal(values, [2.0, 3.0, 4.0])
+        assert np.all(durations == 2)
+
+    def test_read_empty_region(self):
+        source = ArraySource(np.arange(0, 20, 2), np.arange(10.0), period=2)
+        times, _, _ = source.read(100, 200)
+        assert times.size == 0
+
+    def test_coverage_reflects_gaps(self):
+        times = np.array([0, 2, 4, 100, 102])
+        source = ArraySource(times, np.zeros(5), period=2)
+        assert source.coverage() == IntervalSet([(0, 6), (100, 104)])
+
+    def test_event_count(self):
+        source = ArraySource(np.arange(0, 20, 2), np.zeros(10), period=2)
+        assert source.event_count() == 10
+
+    def test_from_frequency(self):
+        source = ArraySource.from_frequency(np.array([0, 2]), np.zeros(2), frequency_hz=500)
+        assert source.descriptor.period == 2
+
+
+class TestCsvSource:
+    def test_round_trip(self, tmp_path):
+        times = np.arange(0, 100, 2)
+        values = np.linspace(0.0, 1.0, 50)
+        path = write_csv(tmp_path / "signal.csv", times, values)
+        source = CsvSource(path, period=2)
+        assert source.event_count() == 50
+        read_times, read_values, _ = source.read(0, 100)
+        np.testing.assert_array_equal(read_times, times)
+        np.testing.assert_allclose(read_values, values)
+
+    def test_coverage(self, tmp_path):
+        times = np.array([0, 2, 4, 50, 52])
+        path = write_csv(tmp_path / "gappy.csv", times, np.zeros(5))
+        source = CsvSource(path, period=2)
+        assert source.coverage() == IntervalSet([(0, 6), (50, 54)])
+
+
+class TestReplaySource:
+    def test_initial_watermark_hides_everything(self):
+        inner = ArraySource(np.arange(0, 100, 2), np.arange(50.0), period=2)
+        replay = ReplaySource(inner)
+        assert replay.coverage().total_length() == 0
+
+    def test_advance_exposes_prefix(self):
+        inner = ArraySource(np.arange(0, 100, 2), np.arange(50.0), period=2)
+        replay = ReplaySource(inner)
+        replay.advance(50)
+        times, _, _ = replay.read(0, 100)
+        assert times.max() < 50
+        assert replay.coverage().span() == (0, 50)
+
+    def test_advance_to_end(self):
+        inner = ArraySource(np.arange(0, 100, 2), np.arange(50.0), period=2)
+        replay = ReplaySource(inner)
+        replay.advance_to_end()
+        times, _, _ = replay.read(0, 100)
+        assert times.size == 50
+
+    def test_watermark_cannot_move_backwards(self):
+        inner = ArraySource(np.arange(0, 100, 2), np.arange(50.0), period=2)
+        replay = ReplaySource(inner, watermark=50)
+        with pytest.raises(StreamDefinitionError):
+            replay.advance(10)

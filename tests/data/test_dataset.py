@@ -1,0 +1,114 @@
+"""Tests for patient records, cohorts and the synthetic dataset module."""
+
+import numpy as np
+import pytest
+
+from repro.core.sources import ArraySource
+from repro.data.dataset import (
+    CAP_SIGNALS,
+    Signal,
+    make_cap_patient,
+    make_cohort,
+    make_overlap_patient,
+    make_patient,
+)
+from repro.data.gaps import overlap_fraction
+from repro.data.synthetic import generate_events, generate_synthetic, sine_wave
+from repro.errors import DataGenerationError
+
+
+class TestSynthetic:
+    def test_generate_synthetic_is_continuous(self):
+        times, values = generate_synthetic(frequency_hz=1000, duration_minutes=1)
+        assert times.size == 60_000
+        assert np.all(np.diff(times) == 1)
+        assert values.min() >= 0.0 and values.max() < 1.0
+
+    def test_generate_events_exact_count(self):
+        times, values = generate_events(12_345, frequency_hz=500)
+        assert times.size == 12_345
+        assert np.all(np.diff(times) == 2)
+
+    def test_sine_wave_frequency(self):
+        times, values = sine_wave(frequency_hz=1000, duration_seconds=2, wave_hz=5)
+        # 5 Hz over 2 seconds -> 10 zero crossings going upward.
+        upward = np.sum((values[:-1] < 0) & (values[1:] >= 0))
+        assert upward == pytest.approx(10, abs=1)
+
+    def test_invalid_durations_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_synthetic(duration_minutes=0)
+        with pytest.raises(DataGenerationError):
+            generate_events(0)
+
+
+class TestSignal:
+    def test_signal_to_source(self):
+        times, values = generate_events(100, frequency_hz=500)
+        signal = Signal("ecg", 500.0, times, values)
+        source = signal.to_source()
+        assert isinstance(source, ArraySource)
+        assert source.descriptor.period == 2
+        assert signal.event_count == 100
+
+    def test_signal_to_csv_round_trip(self, tmp_path):
+        from repro.core.sources import CsvSource
+
+        times, values = generate_events(50, frequency_hz=500)
+        signal = Signal("ecg", 500.0, times, values)
+        path = signal.to_csv(tmp_path / "ecg.csv")
+        loaded = CsvSource(path, period=2)
+        assert loaded.event_count() == 50
+
+
+class TestPatient:
+    def test_patient_has_ecg_and_abp(self):
+        record = make_patient(duration_seconds=10.0)
+        assert "ecg" in record and "abp" in record
+        assert record["ecg"].frequency_hz == 500.0
+        assert record["abp"].frequency_hz == 125.0
+
+    def test_gap_fractions_reduce_event_counts(self):
+        clean = make_patient(duration_seconds=10.0, ecg_gap_fraction=0.0, abp_gap_fraction=0.0)
+        gappy = make_patient(duration_seconds=10.0, ecg_gap_fraction=0.3, abp_gap_fraction=0.3)
+        assert gappy.total_events() < clean.total_events()
+
+    def test_sources_dictionary(self):
+        record = make_patient(duration_seconds=5.0)
+        sources = record.sources()
+        assert set(sources) == {"ecg", "abp"}
+
+    def test_overlap_patient_controls_overlap(self):
+        record = make_overlap_patient(overlap=0.4, duration_seconds=60.0)
+        measured = overlap_fraction(
+            record["ecg"].times, record["abp"].times, record["ecg"].period, record["abp"].period
+        )
+        assert measured == pytest.approx(0.4, abs=0.05)
+
+    def test_cohort_size_and_independence(self):
+        cohort = make_cohort(3, duration_seconds=5.0)
+        assert len(cohort) == 3
+        assert len({record.patient_id for record in cohort}) == 3
+        first_values = cohort[0]["ecg"].values
+        second_values = cohort[1]["ecg"].values
+        assert not np.allclose(first_values[: min(100, second_values.size)], second_values[:100])
+
+    def test_cohort_rejects_bad_size(self):
+        with pytest.raises(DataGenerationError):
+            make_cohort(0)
+
+
+class TestCapPatient:
+    def test_cap_patient_has_six_signals(self):
+        record = make_cap_patient(duration_seconds=5.0)
+        assert len(record.signals) == len(CAP_SIGNALS) == 6
+
+    def test_cap_signal_frequencies(self):
+        record = make_cap_patient(duration_seconds=5.0)
+        for name, frequency in CAP_SIGNALS:
+            assert record[name].frequency_hz == frequency
+
+    def test_cap_patient_total_events(self):
+        record = make_cap_patient(duration_seconds=5.0, gap_fraction=0.0)
+        expected = sum(int(5.0 * frequency) for _, frequency in CAP_SIGNALS)
+        assert record.total_events() == pytest.approx(expected, abs=12)

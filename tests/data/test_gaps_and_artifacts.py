@@ -1,0 +1,144 @@
+"""Tests for gap injection, overlap control and artifact injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import IntervalSet
+from repro.data.artifacts import detection_accuracy, inject_line_zero, line_zero_template
+from repro.data.gaps import (
+    apply_coverage,
+    inject_burst_gaps,
+    make_overlapping_pair,
+    overlap_fraction,
+    small_random_gaps,
+)
+from repro.data.synthetic import generate_events
+from repro.errors import DataGenerationError
+
+
+class TestBurstGaps:
+    def test_removes_requested_fraction(self):
+        times, values = generate_events(10_000, frequency_hz=1000)
+        new_times, new_values = inject_burst_gaps(times, values, gap_fraction=0.3, seed=1)
+        removed = 1 - new_times.size / times.size
+        assert removed == pytest.approx(0.3, abs=0.05)
+        assert new_times.size == new_values.size
+
+    def test_gaps_are_bursty_not_scattered(self):
+        times, values = generate_events(10_000, frequency_hz=1000)
+        new_times, _ = inject_burst_gaps(times, values, gap_fraction=0.3, n_bursts=5, seed=2)
+        coverage = IntervalSet.from_timestamps(new_times, period=1)
+        # 30% removed in ~5 bursts leaves only a handful of contiguous runs,
+        # not hundreds of tiny fragments (the Figure 2 gap structure).
+        assert len(coverage) <= 15
+
+    def test_zero_fraction_is_identity(self):
+        times, values = generate_events(1000)
+        new_times, new_values = inject_burst_gaps(times, values, 0.0)
+        np.testing.assert_array_equal(new_times, times)
+
+    def test_invalid_fraction_rejected(self):
+        times, values = generate_events(100)
+        with pytest.raises(DataGenerationError):
+            inject_burst_gaps(times, values, 1.5)
+
+
+class TestSmallGaps:
+    def test_small_gaps_removed_events(self):
+        times, values = generate_events(5000)
+        new_times, _ = small_random_gaps(times, values, gap_probability=0.05, seed=0)
+        assert new_times.size < times.size
+
+    def test_zero_probability_is_identity(self):
+        times, values = generate_events(500)
+        new_times, _ = small_random_gaps(times, values, 0.0)
+        assert new_times.size == times.size
+
+
+class TestOverlapControl:
+    @pytest.mark.parametrize("target", [0.25, 0.5, 0.9, 1.0])
+    def test_overlap_fraction_is_controlled(self, target):
+        left = generate_events(20_000, frequency_hz=500, seed=0)
+        right = generate_events(5_000, frequency_hz=125, seed=1)
+        new_left, new_right = make_overlapping_pair(
+            left, right, overlap=target, left_period=2, right_period=8
+        )
+        measured = overlap_fraction(new_left[0], new_right[0], 2, 8)
+        assert measured == pytest.approx(target, abs=0.05)
+
+    def test_apply_coverage_filters_by_interval(self):
+        times, values = generate_events(100, frequency_hz=1000)
+        kept_times, _ = apply_coverage(times, values, IntervalSet([(10, 20)]))
+        assert np.all((kept_times >= 10) & (kept_times < 20))
+
+    def test_invalid_overlap_rejected(self):
+        left = generate_events(100)
+        right = generate_events(100)
+        with pytest.raises(DataGenerationError):
+            make_overlapping_pair(left, right, overlap=0.0, left_period=1, right_period=1)
+
+
+class TestLineZeroArtifacts:
+    def test_template_shape(self):
+        template = line_zero_template(250)
+        assert template.size == 250
+        # The spike dominates and the plateau sits near zero, like Figure 7.
+        assert template.max() > 100
+        assert np.median(template) < 10
+
+    def test_injection_records_ground_truth(self):
+        values = np.full(10_000, 80.0)
+        corrupted, artifacts = inject_line_zero(values, n_artifacts=4, seed=0)
+        assert len(artifacts) == 4
+        for artifact in artifacts:
+            segment = corrupted[artifact.start_index : artifact.end_index]
+            assert np.median(segment) < 10  # collapsed towards zero
+
+    def test_injection_does_not_modify_input(self):
+        values = np.full(5_000, 80.0)
+        _, _ = inject_line_zero(values, n_artifacts=2, seed=0)
+        assert np.all(values == 80.0)
+
+    def test_artifacts_do_not_overlap(self):
+        values = np.full(50_000, 80.0)
+        _, artifacts = inject_line_zero(values, n_artifacts=10, seed=3)
+        spans = sorted((a.start_index, a.end_index) for a in artifacts)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_zero_artifacts(self):
+        values = np.full(1000, 80.0)
+        corrupted, artifacts = inject_line_zero(values, n_artifacts=0)
+        assert artifacts == []
+        np.testing.assert_array_equal(corrupted, values)
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(DataGenerationError):
+            inject_line_zero(np.zeros(100), n_artifacts=1, artifact_samples=250)
+
+
+class TestDetectionAccuracy:
+    def test_perfect_detection(self):
+        from repro.data.artifacts import InjectedArtifact
+
+        artifacts = [InjectedArtifact(100, 350), InjectedArtifact(1000, 1250)]
+        detected = [(90, 360), (1010, 1200)]
+        scores = detection_accuracy(detected, artifacts, n_samples=10_000)
+        assert scores["false_negatives"] == 0
+        assert scores["false_positives"] == 0
+
+    def test_missed_artifact_counts_as_false_negative(self):
+        from repro.data.artifacts import InjectedArtifact
+
+        artifacts = [InjectedArtifact(100, 350), InjectedArtifact(1000, 1250)]
+        scores = detection_accuracy([(90, 360)], artifacts, n_samples=10_000)
+        assert scores["false_negatives"] == 1
+        assert scores["false_negative_rate"] == pytest.approx(0.5)
+
+    def test_spurious_detection_counts_as_false_positive(self):
+        from repro.data.artifacts import InjectedArtifact
+
+        artifacts = [InjectedArtifact(100, 350)]
+        scores = detection_accuracy([(90, 360), (5000, 5250)], artifacts, n_samples=10_000)
+        assert scores["false_positives"] == 1
+        assert 0 < scores["false_positive_rate"] < 0.1

@@ -1,0 +1,79 @@
+"""Tests for the synthetic physiological waveform generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.physio import (
+    ABP_FREQUENCY_HZ,
+    ECG_FREQUENCY_HZ,
+    generate_abp,
+    generate_ecg,
+    heart_rate_from_ecg,
+)
+from repro.errors import DataGenerationError
+
+
+class TestEcg:
+    def test_sampling_rate_and_length(self):
+        times, values = generate_ecg(10.0)
+        assert times.size == values.size == 10 * 500
+        assert np.all(np.diff(times) == 2)
+
+    def test_heart_rate_is_respected(self):
+        _, values = generate_ecg(30.0, heart_rate_bpm=120, noise=0.01, seed=1)
+        estimated = heart_rate_from_ecg(values, ECG_FREQUENCY_HZ)
+        assert estimated == pytest.approx(120, rel=0.15)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = generate_ecg(5.0, seed=7)
+        b = generate_ecg(5.0, seed=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = generate_ecg(5.0, seed=1)
+        b = generate_ecg(5.0, seed=2)
+        assert not np.allclose(a[1], b[1])
+
+    def test_r_peaks_dominate(self):
+        _, values = generate_ecg(10.0, noise=0.0, baseline_wander=0.0)
+        assert values.max() == pytest.approx(1.0, abs=0.2)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_ecg(0.0)
+
+
+class TestAbp:
+    def test_sampling_rate(self):
+        times, values = generate_abp(10.0)
+        assert times.size == 10 * 125
+        assert np.all(np.diff(times) == 8)
+
+    def test_pressure_range_is_physiological(self):
+        _, values = generate_abp(30.0, systolic_mmhg=110, diastolic_mmhg=65, noise=0.0)
+        assert values.min() >= 40
+        assert values.max() <= 130
+        assert 60 <= values.mean() <= 100
+
+    def test_pulsatility(self):
+        _, values = generate_abp(10.0, noise=0.0)
+        assert values.max() - values.min() > 20
+
+    def test_rejects_inverted_pressures(self):
+        with pytest.raises(DataGenerationError):
+            generate_abp(10.0, systolic_mmhg=60, diastolic_mmhg=80)
+
+    def test_custom_frequency(self):
+        times, _ = generate_abp(4.0, frequency_hz=62.5)
+        assert np.all(np.diff(times) == 16)
+
+
+class TestHeartRateEstimator:
+    def test_requires_enough_data(self):
+        with pytest.raises(DataGenerationError):
+            heart_rate_from_ecg(np.zeros(10), ECG_FREQUENCY_HZ)
+
+    def test_frequencies_are_defaults_from_the_paper(self):
+        assert ECG_FREQUENCY_HZ == 500.0
+        assert ABP_FREQUENCY_HZ == 125.0

@@ -1,0 +1,124 @@
+"""Tests for the shared numeric kernels behind the Table 3 operations."""
+
+import numpy as np
+import pytest
+
+from repro.ops.kernels import (
+    clamp_kernel,
+    fill_const_kernel,
+    fill_mean_kernel,
+    fir_filter_kernel,
+    interpolate_gaps_kernel,
+    zscore_kernel,
+)
+
+
+def mask_with_gap(n: int, gap: slice) -> np.ndarray:
+    mask = np.ones(n, dtype=bool)
+    mask[gap] = False
+    return mask
+
+
+class TestZscore:
+    def test_standardises_present_values(self):
+        kernel = zscore_kernel()
+        values = np.arange(100.0)
+        result, mask = kernel(values, np.ones(100, dtype=bool))
+        assert result.mean() == pytest.approx(0.0, abs=1e-12)
+        assert result.std() == pytest.approx(1.0)
+        assert mask.all()
+
+    def test_ignores_absent_slots_in_statistics(self):
+        kernel = zscore_kernel()
+        values = np.array([0.0, 1000.0, 2.0, 4.0])
+        mask = np.array([True, False, True, True])
+        result, _ = kernel(values, mask)
+        present = result[mask]
+        assert present.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_values_give_zero(self):
+        kernel = zscore_kernel()
+        result, _ = kernel(np.full(10, 7.0), np.ones(10, dtype=bool))
+        np.testing.assert_allclose(result, 0.0)
+
+    def test_all_absent_passthrough(self):
+        kernel = zscore_kernel()
+        values = np.arange(5.0)
+        result, mask = kernel(values, np.zeros(5, dtype=bool))
+        np.testing.assert_allclose(result, values)
+        assert not mask.any()
+
+
+class TestFillKernels:
+    def test_fill_const_fills_short_gap(self):
+        kernel = fill_const_kernel(max_gap_samples=3, constant=-1.0)
+        values = np.arange(10.0)
+        mask = mask_with_gap(10, slice(4, 6))
+        new_values, new_mask = kernel(values, mask)
+        assert new_mask.all()
+        np.testing.assert_allclose(new_values[4:6], -1.0)
+
+    def test_fill_const_leaves_long_gap(self):
+        kernel = fill_const_kernel(max_gap_samples=3, constant=-1.0)
+        mask = mask_with_gap(20, slice(5, 15))
+        _, new_mask = kernel(np.arange(20.0), mask)
+        assert not new_mask[5:15].any()
+
+    def test_fill_mean_uses_neighbours(self):
+        kernel = fill_mean_kernel(max_gap_samples=4)
+        values = np.array([2.0, 2.0, 0.0, 0.0, 6.0, 6.0])
+        mask = np.array([True, True, False, False, True, True])
+        new_values, new_mask = kernel(values, mask)
+        assert new_mask.all()
+        np.testing.assert_allclose(new_values[2:4], 4.0)
+
+    def test_leading_and_trailing_gaps_not_filled(self):
+        kernel = fill_mean_kernel(max_gap_samples=10)
+        mask = np.array([False, True, True, False])
+        _, new_mask = kernel(np.arange(4.0), mask)
+        assert not new_mask[0]
+        assert not new_mask[3]
+
+    def test_interpolation_kernel_is_linear(self):
+        kernel = interpolate_gaps_kernel(max_gap_samples=5)
+        values = np.array([0.0, 0.0, 0.0, 0.0, 8.0])
+        mask = np.array([True, False, False, False, True])
+        new_values, new_mask = kernel(values, mask)
+        assert new_mask.all()
+        np.testing.assert_allclose(new_values, [0.0, 2.0, 4.0, 6.0, 8.0])
+
+    def test_full_mask_is_identity(self):
+        kernel = fill_mean_kernel(max_gap_samples=3)
+        values = np.arange(6.0)
+        new_values, new_mask = kernel(values, np.ones(6, dtype=bool))
+        np.testing.assert_allclose(new_values, values)
+        assert new_mask.all()
+
+
+class TestFirFilterKernel:
+    def test_preserves_mask(self):
+        kernel = fir_filter_kernel(numtaps=31, cutoff_hz=40, sample_rate_hz=500)
+        mask = mask_with_gap(200, slice(50, 60))
+        _, new_mask = kernel(np.random.default_rng(0).random(200), mask)
+        np.testing.assert_array_equal(new_mask, mask)
+
+    def test_dc_signal_passes_low_pass(self):
+        kernel = fir_filter_kernel(numtaps=31, cutoff_hz=40, sample_rate_hz=500)
+        values = np.full(500, 3.0)
+        filtered, _ = kernel(values, np.ones(500, dtype=bool))
+        # After the filter warm-up the DC level is preserved.
+        np.testing.assert_allclose(filtered[100:], 3.0, atol=1e-6)
+
+
+class TestClampKernel:
+    def test_masks_out_of_range_values(self):
+        kernel = clamp_kernel(-1.0, 1.0)
+        values = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        _, mask = kernel(values, np.ones(5, dtype=bool))
+        np.testing.assert_array_equal(mask, [False, True, True, True, False])
+
+    def test_respects_existing_mask(self):
+        kernel = clamp_kernel(-1.0, 1.0)
+        values = np.zeros(3)
+        _, mask = kernel(values, np.array([True, False, True]))
+        np.testing.assert_array_equal(mask, [True, False, True])

@@ -1,0 +1,112 @@
+"""Tests for the Table 3 operations expressed as LifeStream queries and
+their Trill-baseline counterparts."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.numlib import ops as numlib_ops
+from repro.baselines.trill import TrillEngine, TrillInput
+from repro.core.engine import LifeStreamEngine
+from repro.core.sources import ArraySource
+from repro.data.gaps import small_random_gaps
+from repro.data.physio import generate_ecg
+from repro.ops.operations import (
+    OPERATION_NAMES,
+    lifestream_normalize,
+    lifestream_normalize_multicast,
+    lifestream_operation,
+    trill_operation,
+)
+from repro.core.query import Query
+
+
+@pytest.fixture(scope="module")
+def ecg_10s():
+    return generate_ecg(10.0, seed=0)
+
+
+class TestLifeStreamOperations:
+    def test_every_operation_builds_and_runs(self, ecg_10s):
+        times, values = ecg_10s
+        source = ArraySource(times, values, period=2)
+        engine = LifeStreamEngine(window_size=1000)
+        for name in OPERATION_NAMES:
+            query = lifestream_operation(name, "ecg", frequency_hz=500, window=1000)
+            result = engine.run(query, sources={"ecg": source})
+            assert len(result) > 0, name
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            lifestream_operation("fourier", "ecg", frequency_hz=500)
+
+    def test_normalize_matches_numlib(self, ecg_10s):
+        times, values = ecg_10s
+        source = ArraySource(times, values, period=2)
+        engine = LifeStreamEngine(window_size=1000)
+        query = lifestream_normalize(Query.source("ecg", frequency_hz=500), window=1000)
+        result = engine.run(query, sources={"ecg": source})
+        expected = numlib_ops.normalize(values, window_samples=500)
+        np.testing.assert_allclose(result.values, expected, atol=1e-9)
+
+    def test_normalize_multicast_formulation_is_close(self, ecg_10s):
+        # The pure-temporal-primitive formulation (multicast + aggregates)
+        # computes the same standard scores as the transform-based one.
+        times, values = ecg_10s
+        source = ArraySource(times, values, period=2)
+        engine = LifeStreamEngine(window_size=1000)
+        transform_based = engine.run(
+            lifestream_normalize(Query.source("ecg", frequency_hz=500), window=1000),
+            sources={"ecg": source},
+        )
+        primitive_based = engine.run(
+            lifestream_normalize_multicast(Query.source("ecg", frequency_hz=500), window=1000),
+            sources={"ecg": source},
+        )
+        assert len(transform_based) == len(primitive_based)
+        np.testing.assert_allclose(transform_based.values, primitive_based.values, atol=1e-9)
+
+    def test_resample_doubles_event_count(self, ecg_10s):
+        # 500 Hz has a 2-tick period; the benchmark resamples to a 1-tick
+        # grid, doubling the number of events.
+        times, values = ecg_10s
+        source = ArraySource(times, values, period=2)
+        engine = LifeStreamEngine(window_size=1000)
+        query = lifestream_operation("resample", "ecg", frequency_hz=500, window=1000)
+        result = engine.run(query, sources={"ecg": source})
+        assert len(result) == 2 * times.size
+
+    def test_fillmean_restores_small_gaps(self, ecg_10s):
+        times, values = ecg_10s
+        gappy_times, gappy_values = small_random_gaps(times, values, 0.02, max_gap_events=3, seed=1)
+        source = ArraySource(gappy_times, gappy_values, period=2)
+        engine = LifeStreamEngine(window_size=1000)
+        query = lifestream_operation("fillmean", "ecg", frequency_hz=500, window=1000)
+        result = engine.run(query, sources={"ecg": source})
+        assert len(result) > gappy_times.size
+        assert len(result) <= times.size
+
+
+class TestTrillOperations:
+    def test_every_operation_builds_and_runs(self, ecg_10s):
+        times, values = ecg_10s
+        engine = TrillEngine(batch_size=2048)
+        for name in OPERATION_NAMES:
+            operators = trill_operation(name, frequency_hz=500, window=1000)
+            out_times, out_values, _ = engine.run_unary(TrillInput(times, values, 2), operators)
+            assert out_times.size > 0, name
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            trill_operation("wavelet", frequency_hz=500)
+
+    def test_trill_normalize_agrees_with_lifestream(self, ecg_10s):
+        times, values = ecg_10s
+        trill = TrillEngine(batch_size=2048)
+        _, trill_values, _ = trill.run_unary(
+            TrillInput(times, values, 2), trill_operation("normalize", 500, window=1000)
+        )
+        source = ArraySource(times, values, period=2)
+        lifestream = LifeStreamEngine(window_size=1000).run(
+            lifestream_operation("normalize", "ecg", 500, window=1000), sources={"ecg": source}
+        )
+        np.testing.assert_allclose(trill_values, lifestream.values, atol=1e-9)

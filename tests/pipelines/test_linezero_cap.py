@@ -1,0 +1,94 @@
+"""Tests for the LineZero artifact-detection and CAP preprocessing pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.data.artifacts import inject_line_zero
+from repro.data.dataset import make_cap_patient
+from repro.data.physio import generate_abp
+from repro.pipelines.cap import cap_query, run_lifestream_cap, run_trill_cap
+from repro.pipelines.linezero import (
+    evaluate_linezero_accuracy,
+    linezero_query,
+    run_lifestream_linezero,
+    run_trill_linezero,
+)
+
+
+@pytest.fixture(scope="module")
+def abp_with_artifacts():
+    times, values = generate_abp(90.0, seed=11)
+    corrupted, artifacts = inject_line_zero(values, n_artifacts=4, seed=12)
+    return times, corrupted, artifacts
+
+
+class TestLineZero:
+    def test_query_structure(self):
+        query = linezero_query()
+        assert query.source_names() == {"abp"}
+        assert query.operator_count() == 1
+
+    def test_lifestream_detects_every_artifact(self, abp_with_artifacts):
+        times, values, artifacts = abp_with_artifacts
+        regions, run = run_lifestream_linezero(times, values)
+        scores = evaluate_linezero_accuracy(regions, artifacts, values.size)
+        # Section 6.1 reports 0% false negatives and 0.2% false positives.
+        assert scores["false_negative_rate"] == 0.0
+        assert scores["false_positive_rate"] <= 0.02
+        assert run.events_ingested == times.size
+
+    def test_trill_detects_every_artifact(self, abp_with_artifacts):
+        times, values, artifacts = abp_with_artifacts
+        regions, _ = run_trill_linezero(times, values)
+        scores = evaluate_linezero_accuracy(regions, artifacts, values.size)
+        assert scores["false_negative_rate"] == 0.0
+
+    def test_clean_signal_produces_no_detections(self):
+        times, values = generate_abp(60.0, seed=13)
+        regions, _ = run_lifestream_linezero(times, values)
+        assert regions == []
+
+    def test_engines_agree_on_detected_regions(self, abp_with_artifacts):
+        times, values, artifacts = abp_with_artifacts
+        lifestream_regions, _ = run_lifestream_linezero(times, values)
+        trill_regions, _ = run_trill_linezero(times, values)
+        assert len(lifestream_regions) == len(trill_regions) == len(artifacts)
+
+
+class TestCap:
+    @pytest.fixture(scope="class")
+    def patient(self):
+        return make_cap_patient(duration_seconds=20.0, seed=5)
+
+    def test_query_joins_all_signals(self, patient):
+        signals = [(name, signal.frequency_hz) for name, signal in patient.signals.items()]
+        query = cap_query(signals)
+        assert query.source_names() == set(patient.signals)
+        # 4 preprocessing stages per signal + 5 joins.
+        assert query.operator_count() == 4 * len(signals) + (len(signals) - 1)
+
+    def test_query_requires_at_least_two_signals(self):
+        with pytest.raises(ValueError):
+            cap_query([("ecg", 500.0)])
+
+    def test_lifestream_cap_runs(self, patient):
+        run = run_lifestream_cap(patient)
+        assert run.events_emitted > 0
+        assert run.extra["signals"] == 6
+        assert run.events_ingested == patient.total_events()
+
+    def test_trill_cap_runs(self, patient):
+        run = run_trill_cap(patient)
+        assert run.events_emitted > 0
+
+    def test_engines_emit_similar_event_counts(self, patient):
+        lifestream = run_lifestream_cap(patient)
+        trill = run_trill_cap(patient)
+        assert trill.events_emitted == pytest.approx(lifestream.events_emitted, rel=0.1)
+
+    def test_output_bounded_by_target_grid(self, patient):
+        # The combined stream lives on the 125 Hz grid, so it cannot emit
+        # more events than the patient's time span divided by 8 ticks.
+        run = run_lifestream_cap(patient)
+        max_events = 20_000 // 8 + 1
+        assert run.events_emitted <= max_events

@@ -1,0 +1,105 @@
+"""Tests for the multi-core and multi-machine scaling substrates."""
+
+import pytest
+
+from repro.data.dataset import make_cohort, make_patient
+from repro.scaling import (
+    CLUSTER_THREADS,
+    ClusterModel,
+    ScalingModel,
+    measure_single_worker_throughput,
+    run_data_parallel,
+)
+
+
+class TestScalingModel:
+    def test_lifestream_scales_to_machine_cores(self):
+        model = ScalingModel.for_engine("lifestream", single_worker_throughput=1e6)
+        assert model.throughput(32).throughput_events_per_second > model.throughput(
+            8
+        ).throughput_events_per_second
+
+    def test_throughput_monotone_until_saturation(self):
+        model = ScalingModel.for_engine("numlib", single_worker_throughput=1e6)
+        curve = model.curve([1, 2, 4, 8, 16, 24, 32, 48])
+        throughputs = [p.throughput_events_per_second for p in curve.points]
+        assert all(b >= a for a, b in zip(throughputs, throughputs[1:]))
+        # NumLib saturates at 24 workers (Section 8.6).
+        assert curve.points[-1].throughput_events_per_second == pytest.approx(
+            model.throughput(24).throughput_events_per_second
+        )
+
+    def test_trill_fails_beyond_its_memory_limit(self):
+        model = ScalingModel.for_engine("trill", single_worker_throughput=1e6)
+        limit = model.max_workers_before_oom()
+        assert limit == 12
+        assert not model.throughput(limit).failed
+        assert model.throughput(limit + 1).failed
+        assert model.throughput(limit + 1).throughput_events_per_second == 0.0
+
+    def test_lifestream_peak_exceeds_baselines(self):
+        lifestream = ScalingModel.for_engine("lifestream", 1e6).curve([1, 8, 16, 32])
+        trill = ScalingModel.for_engine("trill", 1e6).curve([1, 8, 16, 32])
+        numlib = ScalingModel.for_engine("numlib", 1e6).curve([1, 8, 16, 32])
+        assert lifestream.peak_throughput() > trill.peak_throughput()
+        assert lifestream.peak_throughput() > numlib.peak_throughput()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingModel.for_engine("beam", 1e6)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingModel.for_engine("trill", 0.0)
+        model = ScalingModel.for_engine("trill", 1e6)
+        with pytest.raises(ValueError):
+            model.throughput(0)
+
+
+class TestClusterModel:
+    def test_per_machine_thread_counts_match_paper(self):
+        assert CLUSTER_THREADS == {"trill": 12, "numlib": 24, "lifestream": 32}
+
+    def test_cluster_scales_nearly_linearly(self):
+        model = ClusterModel("lifestream", single_worker_throughput=1e6)
+        one = model.throughput(1).throughput_events_per_second
+        sixteen = model.throughput(16).throughput_events_per_second
+        assert sixteen == pytest.approx(16 * one, rel=0.25)
+        assert sixteen > 12 * one
+
+    def test_lifestream_cluster_peak_exceeds_trill(self):
+        lifestream = ClusterModel("lifestream", 1e6).throughput(16)
+        trill = ClusterModel("trill", 1e6).throughput(16)
+        assert lifestream.throughput_events_per_second > trill.throughput_events_per_second
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterModel("storm", 1e6)
+
+    def test_invalid_machine_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterModel("trill", 1e6).throughput(0)
+
+
+class TestRealDataParallelExecution:
+    def test_measure_single_worker_throughput(self):
+        patient = make_patient(duration_seconds=10.0, seed=0)
+        throughput = measure_single_worker_throughput("lifestream", patient)
+        assert throughput > 0
+
+    def test_single_worker_run(self):
+        cohort = make_cohort(2, duration_seconds=5.0, seed=1)
+        point = run_data_parallel("lifestream", cohort, n_workers=1)
+        assert point.workers == 1
+        assert point.throughput_events_per_second > 0
+
+    def test_rejects_bad_worker_count(self):
+        cohort = make_cohort(1, duration_seconds=2.0)
+        with pytest.raises(ValueError):
+            run_data_parallel("lifestream", cohort, n_workers=0)
+
+    @pytest.mark.slow
+    def test_two_workers_process_whole_cohort(self):
+        cohort = make_cohort(4, duration_seconds=5.0, seed=2)
+        point = run_data_parallel("lifestream", cohort, n_workers=2)
+        assert point.throughput_events_per_second > 0
