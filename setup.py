@@ -1,6 +1,40 @@
-"""Compatibility shim so `pip install -e .` works on toolchains without the
-`wheel` package (the actual configuration lives in pyproject.toml)."""
+"""Packaging for the LifeStream reproduction (src layout).
 
-from setuptools import setup
+``pip install -e .`` installs the ``repro`` package; the test suite needs
+the ``test`` extra (pytest, pytest-benchmark, hypothesis) on top.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="lifestream-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'LifeStream: A High-Performance Stream Processing "
+        "Engine for Periodic Streams' (ASPLOS 2021)"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "hypothesis>=6",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -21,15 +21,19 @@ The package is organised as:
 
 from repro.core import (
     ArraySource,
+    BatchedBackend,
     CompiledQuery,
     CsvSource,
     Event,
+    ExecutionBackend,
     FWindow,
     IntervalSet,
     LifeStreamEngine,
     LinearTimeMap,
+    MultiprocessBackend,
     Query,
     ReplaySource,
+    SerialBackend,
     StreamDescriptor,
     StreamResult,
     StreamSource,
@@ -57,6 +61,10 @@ __all__ = [
     "IntervalSet",
     "StreamResult",
     "StreamSource",
+    "ExecutionBackend",
+    "SerialBackend",
+    "BatchedBackend",
+    "MultiprocessBackend",
     "ArraySource",
     "CsvSource",
     "ReplaySource",

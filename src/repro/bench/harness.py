@@ -94,3 +94,26 @@ class Comparison:
             (name, m.seconds, m.throughput_million_events_per_second)
             for name, m in self.measurements.items()
         ]
+
+
+def compare_backends(
+    workload: str,
+    run_fn: Callable[[object], object],
+    backends: dict[str, object],
+    repeat: int = 3,
+    events: int = 0,
+) -> Comparison:
+    """Measure the same workload once per execution backend.
+
+    ``run_fn`` receives each backend object (e.g. a
+    :class:`~repro.core.runtime.backends.ExecutionBackend` or a pre-compiled
+    query bound to one) and runs the workload with it; the median of
+    *repeat* trials is recorded per backend.  The returned
+    :class:`Comparison` exposes ``speedup(fast, slow)`` — this is how the
+    backend benchmarks quantify batched/fused execution against the serial
+    reference.
+    """
+    comparison = Comparison(workload=workload)
+    for name, backend in backends.items():
+        comparison.add(measure(name, lambda b=backend: run_fn(b), repeat=repeat, events=events))
+    return comparison

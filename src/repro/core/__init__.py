@@ -15,6 +15,12 @@ from repro.core.event import Event, StreamDescriptor
 from repro.core.fwindow import FWindow
 from repro.core.intervals import IntervalSet
 from repro.core.query import Query
+from repro.core.runtime.backends import (
+    BatchedBackend,
+    ExecutionBackend,
+    MultiprocessBackend,
+    SerialBackend,
+)
 from repro.core.runtime.result import ExecutionStats, StreamResult
 from repro.core.sources import ArraySource, CsvSource, ReplaySource, StreamSource, write_csv
 from repro.core.timeutil import (
@@ -35,6 +41,10 @@ __all__ = [
     "IntervalSet",
     "StreamResult",
     "ExecutionStats",
+    "ExecutionBackend",
+    "SerialBackend",
+    "BatchedBackend",
+    "MultiprocessBackend",
     "StreamSource",
     "ArraySource",
     "CsvSource",

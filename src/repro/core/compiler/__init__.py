@@ -1,20 +1,27 @@
-"""Query compilation: spec → plan graph → dimensions → buffers → coverage.
+"""Query compilation: spec → plan IR → passes → executable plan.
 
 ``build_plan`` turns the declarative :class:`~repro.core.query.Query` spec
 into a graph of plan nodes, binding named sources to concrete
 :class:`~repro.core.sources.StreamSource` objects.  ``compile_plan`` then
-runs the three compile-time passes of the paper in order:
+drives the ordered pass pipeline of :mod:`repro.core.compiler.passes`:
 
-1. locality tracing (:mod:`repro.core.compiler.locality`),
-2. static memory allocation (:mod:`repro.core.compiler.memory`),
-3. coverage propagation for targeted query processing
-   (:mod:`repro.core.compiler.lineage`).
+1. ``normalize``        — spec canonicalisation + plan-IR construction,
+2. ``lineage``          — coverage propagation for targeted query
+   processing (:mod:`repro.core.compiler.lineage`),
+3. ``locality``         — locality tracing (:mod:`repro.core.compiler.locality`),
+4. ``fuse_elementwise`` — element-wise operator fusion
+   (:mod:`repro.core.compiler.fusion`),
+5. ``memory``           — static memory allocation
+   (:mod:`repro.core.compiler.memory`).
+
+Every pass is timed; :meth:`CompiledPlan.explain` reports the timeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.core.compiler.fusion import FusionReport, fuse_elementwise
 from repro.core.compiler.lineage import (
     backward_time_map,
     forward_time_map,
@@ -24,6 +31,18 @@ from repro.core.compiler.lineage import (
 )
 from repro.core.compiler.locality import assign_dimensions, trace_dimensions, uniform_dimension
 from repro.core.compiler.memory import MemoryPlan, allocate, estimate_footprint
+from repro.core.compiler.passes import (
+    MAX_OPTIMIZATION_LEVEL,
+    CompilerPass,
+    FuseElementwisePass,
+    LineagePass,
+    LocalityPass,
+    MemoryPass,
+    NormalizePass,
+    PassContext,
+    PassManager,
+    PassTiming,
+)
 from repro.core.graph import OperatorNode, PlanNode, SourceNode
 from repro.core.intervals import IntervalSet
 from repro.core.query import Query, QuerySpec
@@ -36,6 +55,18 @@ __all__ = [
     "compile_plan",
     "CompiledPlan",
     "MemoryPlan",
+    "PassManager",
+    "PassContext",
+    "PassTiming",
+    "CompilerPass",
+    "NormalizePass",
+    "LineagePass",
+    "LocalityPass",
+    "FuseElementwisePass",
+    "MemoryPass",
+    "MAX_OPTIMIZATION_LEVEL",
+    "FusionReport",
+    "fuse_elementwise",
     "assign_dimensions",
     "trace_dimensions",
     "uniform_dimension",
@@ -98,6 +129,17 @@ class CompiledPlan:
     window_size: int
     memory_plan: MemoryPlan
     output_coverage: IntervalSet
+    #: Timed record of the pass pipeline that produced this plan.
+    pass_timings: list[PassTiming] = field(default_factory=list)
+    #: Free-form per-pass facts (e.g. fusion statistics).
+    pass_metadata: dict = field(default_factory=dict)
+    #: The query and bound sources the plan was compiled from.  Execution
+    #: backends that need a re-shaped twin of the plan (e.g. the batched
+    #: backend's widened windows) recompile from these.
+    query: Query | None = None
+    sources: dict[str, StreamSource] | None = None
+    tracer: object = None
+    optimization_level: int = MAX_OPTIMIZATION_LEVEL
 
     def explain(self) -> str:
         """Human-readable plan dump in the paper's ``(offset,period)[dim]`` notation."""
@@ -108,7 +150,14 @@ class CompiledPlan:
             f"pre-allocated: {self.memory_plan.total_bytes} bytes, "
             f"output coverage: {self.output_coverage.total_length()} ticks"
         )
-        return header + "\n" + describe_plan(self.sink)
+        lines = [header, describe_plan(self.sink)]
+        if self.pass_timings:
+            lines.append("pass timeline:")
+            for timing in self.pass_timings:
+                note = self.pass_metadata.get(timing.name)
+                suffix = f"  ({note})" if note else ""
+                lines.append(f"  {timing.name:<18} {timing.seconds * 1e3:8.3f} ms{suffix}")
+        return "\n".join(lines)
 
 
 def compile_plan(
@@ -116,15 +165,43 @@ def compile_plan(
     sources: dict[str, StreamSource] | None = None,
     window_size: int = TICKS_PER_MINUTE,
     tracer=None,
+    optimization_level: int = MAX_OPTIMIZATION_LEVEL,
+    pass_manager: PassManager | None = None,
 ) -> CompiledPlan:
-    """Compile *query* into an executable :class:`CompiledPlan`."""
-    sink = build_plan(query, sources)
-    assign_dimensions(sink, window_size)
-    memory_plan = allocate(sink, tracer=tracer)
-    coverage = propagate_coverage(sink)
+    """Compile *query* into an executable :class:`CompiledPlan`.
+
+    ``optimization_level`` gates the rewriting passes: 0 compiles the query
+    verbatim, 1 adds spec normalization, 2 (default) adds operator fusion.
+    A custom ``pass_manager`` replaces the default pipeline entirely.
+    """
+    if not 0 <= optimization_level <= MAX_OPTIMIZATION_LEVEL:
+        raise CompilationError(
+            f"optimization_level must be in [0, {MAX_OPTIMIZATION_LEVEL}], "
+            f"got {optimization_level}"
+        )
+    manager = pass_manager or PassManager.default_pipeline()
+    ctx = PassContext(
+        query=query,
+        sources=sources,
+        window_size=window_size,
+        tracer=tracer,
+        optimization_level=optimization_level,
+    )
+    timings = manager.run(ctx)
+    sink = ctx.require_sink()
+    if ctx.memory_plan is None:
+        raise CompilationError("pass pipeline did not allocate memory for the plan")
+    if ctx.coverage is None:
+        raise CompilationError("pass pipeline did not compute output coverage")
     return CompiledPlan(
         sink=sink,
         window_size=window_size,
-        memory_plan=memory_plan,
-        output_coverage=coverage,
+        memory_plan=ctx.memory_plan,
+        output_coverage=ctx.coverage,
+        pass_timings=timings,
+        pass_metadata=ctx.metadata,
+        query=query,
+        sources=sources,
+        tracer=tracer,
+        optimization_level=optimization_level,
     )

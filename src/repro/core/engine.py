@@ -1,9 +1,11 @@
 """The LifeStream engine facade.
 
 :class:`LifeStreamEngine` is the main entry point of the library: it owns
-the compile-time configuration (window size, targeted execution, optional
-cache tracer), compiles queries into :class:`CompiledQuery` objects, and
-runs them against concrete stream sources.
+the compile-time configuration (window size, targeted execution, the
+optimization level of the pass pipeline, optional cache tracer) and the
+runtime configuration (the execution backend), compiles queries into
+:class:`CompiledQuery` objects, and runs them against concrete stream
+sources.
 
 Typical use::
 
@@ -15,12 +17,20 @@ Typical use::
 
     engine = LifeStreamEngine()
     result = engine.run(query, sources={"ecg": ecg})
+
+Scaling the same query up is a constructor argument away::
+
+    from repro.core.runtime import BatchedBackend, MultiprocessBackend
+
+    engine = LifeStreamEngine(backend=BatchedBackend(batch_windows=16))
+    engine = LifeStreamEngine(backend=MultiprocessBackend(n_workers=4))
 """
 
 from __future__ import annotations
 
-from repro.core.compiler import CompiledPlan, compile_plan
+from repro.core.compiler import MAX_OPTIMIZATION_LEVEL, CompiledPlan, compile_plan
 from repro.core.query import Query
+from repro.core.runtime.backends import ExecutionBackend
 from repro.core.runtime.executor import execute_plan
 from repro.core.runtime.result import StreamResult
 from repro.core.sources import StreamSource
@@ -31,9 +41,15 @@ from repro.errors import ExecutionError
 class CompiledQuery:
     """A query compiled against concrete sources, ready to execute repeatedly."""
 
-    def __init__(self, plan: CompiledPlan, targeted: bool) -> None:
+    def __init__(
+        self,
+        plan: CompiledPlan,
+        targeted: bool,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
         self._plan = plan
         self._targeted = targeted
+        self._backend = backend
         self.last_stats = None
 
     @property
@@ -46,19 +62,33 @@ class CompiledQuery:
         """The FWindow size (in ticks) the plan was compiled for."""
         return self._plan.window_size
 
+    @property
+    def backend(self) -> ExecutionBackend | None:
+        """The execution backend runs will use (None = serial)."""
+        return self._backend
+
     def explain(self) -> str:
-        """Human-readable plan dump (dimensions, coverage, memory)."""
+        """Human-readable plan dump (dimensions, coverage, memory, pass timeline)."""
         return self._plan.explain()
 
-    def run(self, targeted: bool | None = None, collect: bool = True) -> StreamResult:
+    def run(
+        self,
+        targeted: bool | None = None,
+        collect: bool = True,
+        backend: ExecutionBackend | None = None,
+    ) -> StreamResult:
         """Execute the plan and return the output stream.
 
         ``targeted`` overrides the engine-level setting for this run, which
         is how the ablation benchmarks compare targeted against eager
-        processing on the same compiled plan.
+        processing on the same compiled plan; ``backend`` likewise overrides
+        the engine-level execution backend.
         """
         use_targeted = self._targeted if targeted is None else targeted
-        result = execute_plan(self._plan, targeted=use_targeted, collect=collect)
+        use_backend = self._backend if backend is None else backend
+        result = execute_plan(
+            self._plan, targeted=use_targeted, collect=collect, backend=use_backend
+        )
         self.last_stats = result.stats
         return result
 
@@ -71,12 +101,16 @@ class LifeStreamEngine:
         window_size: int = TICKS_PER_MINUTE,
         targeted: bool = True,
         tracer=None,
+        backend: ExecutionBackend | None = None,
+        optimization_level: int = MAX_OPTIMIZATION_LEVEL,
     ) -> None:
         if window_size <= 0:
             raise ExecutionError(f"window size must be positive, got {window_size}")
         self.window_size = window_size
         self.targeted = targeted
         self.tracer = tracer
+        self.backend = backend
+        self.optimization_level = optimization_level
 
     def compile(
         self,
@@ -89,8 +123,9 @@ class LifeStreamEngine:
             sources=sources,
             window_size=self.window_size,
             tracer=self.tracer,
+            optimization_level=self.optimization_level,
         )
-        return CompiledQuery(plan, targeted=self.targeted)
+        return CompiledQuery(plan, targeted=self.targeted, backend=self.backend)
 
     def run(
         self,

@@ -3,6 +3,7 @@
 from repro.core.operators.aggregate import Aggregate
 from repro.core.operators.base import Operator, masked_reduce, sample_active
 from repro.core.operators.elementwise import AlterDuration, Select, Shift, Where
+from repro.core.operators.fused import FUSABLE_OPERATORS, FusedElementwise
 from repro.core.operators.join import ClipJoin, Join
 from repro.core.operators.regrid import AlterPeriod, Chop
 from repro.core.operators.shape_where import ShapeWhere
@@ -21,6 +22,8 @@ __all__ = [
     "Chop",
     "Transform",
     "ShapeWhere",
+    "FusedElementwise",
+    "FUSABLE_OPERATORS",
     "masked_reduce",
     "sample_active",
 ]

@@ -90,7 +90,33 @@ class Operator:
             return coverages[0]
         return IntervalSet([mapped.apply_interval(iv) for iv in coverages[0]])
 
+    def batch_safe(self, inputs: Sequence[StreamDescriptor]) -> bool:
+        """Whether per-window output is invariant to widening the FWindow.
+
+        The batched execution backend replaces N consecutive windows of
+        dimension D with one window of dimension N*D.  That is only exact
+        for operators whose window boundaries are semantically invisible —
+        true for element-wise ops, chunk-local transforms, stride-aligned
+        aggregates and carry-correct joins, but **not** for operators whose
+        output near a boundary depends on how much of the stream the window
+        exposes (boundary-clamped interpolation, successor lookups, matching
+        normalised against the window's value range).  Those return False
+        and force the batched backend to fall back to serial execution.
+        """
+        return True
+
     # -- runtime interface --------------------------------------------------
+
+    def warmup_windows(self, dimension: int) -> int:
+        """Windows of history needed to rebuild this operator's state.
+
+        Execution backends that start mid-stream (a sharded worker, a
+        resumed range) replay this many preceding windows, discarding their
+        output, so the operator's cross-window state matches a run from the
+        beginning.  Stateless operators need none; the default for stateful
+        operators is one window (a single carried event, Section 6.3).
+        """
+        return 1 if self.stateful else 0
 
     def make_state(self):
         """Create the operator's constant-size cross-window state (or None)."""

@@ -119,6 +119,13 @@ class Shift(Operator):
             return shifted.dilate(self.offset, 0)
         return shifted
 
+    def warmup_windows(self, dimension: int) -> int:
+        # The carry holds the last ``offset`` ticks of input, which may span
+        # several windows when the shift exceeds the FWindow dimension.
+        if self.offset <= 0:
+            return 0
+        return -(-self.offset // dimension)
+
     def make_state(self):
         return {"carry_values": None, "carry_bits": None, "carry_durations": None}
 
@@ -140,21 +147,21 @@ class Shift(Operator):
             state["carry_values"] = np.zeros(lag, dtype=np.float64)
             state["carry_bits"] = np.zeros(lag, dtype=bool)
             state["carry_durations"] = np.full(lag, source.period, dtype=np.int64)
-        carry_values = state["carry_values"]
-        carry_bits = state["carry_bits"]
-        carry_durations = state["carry_durations"]
 
-        head = min(lag, capacity)
-        output.values[:head] = carry_values[:head]
-        output.bitvector[:head] = carry_bits[:head]
-        output.durations[:head] = carry_durations[:head]
-        output.values[head:] = source.values[: capacity - head]
-        output.bitvector[head:] = source.bitvector[: capacity - head]
-        output.durations[head:] = source.durations[: capacity - head]
-
-        carry_values[:head] = source.values[capacity - head :]
-        carry_bits[:head] = source.bitvector[capacity - head :]
-        carry_durations[:head] = source.durations[capacity - head :]
+        # FIFO through the carry: the window emits the oldest ``capacity``
+        # samples of (carry + input) and retains the newest ``lag`` as the
+        # next carry.  This stays correct when the shift exceeds the window
+        # (lag > capacity): samples then wait in the carry for several
+        # windows instead of being clobbered by the newest input.
+        combined_values = np.concatenate((state["carry_values"], source.values))
+        combined_bits = np.concatenate((state["carry_bits"], source.bitvector))
+        combined_durations = np.concatenate((state["carry_durations"], source.durations))
+        output.values[:] = combined_values[:capacity]
+        output.bitvector[:] = combined_bits[:capacity]
+        output.durations[:] = combined_durations[:capacity]
+        state["carry_values"] = combined_values[capacity:]
+        state["carry_bits"] = combined_bits[capacity:]
+        state["carry_durations"] = combined_durations[capacity:]
         output.trace_write()
 
 

@@ -140,6 +140,12 @@ class ClipJoin(Operator):
     def propagate_coverage(self, coverages: Sequence[IntervalSet]) -> IntervalSet:
         return coverages[0]
 
+    def batch_safe(self, inputs: Sequence[StreamDescriptor]) -> bool:
+        # A left event's successor may lie beyond the current window, in
+        # which case it is dropped — widening the window changes which
+        # events survive.
+        return False
+
     def make_state(self):
         return {}
 

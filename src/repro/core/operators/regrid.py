@@ -48,6 +48,21 @@ class AlterPeriod(Operator):
     def dimension_constraint(self, inputs: Sequence[StreamDescriptor]) -> int:
         return lcm(inputs[0].period, self.period)
 
+    def batch_safe(self, inputs: Sequence[StreamDescriptor]) -> bool:
+        in_period = inputs[0].period
+        if self.period == in_period:
+            return True
+        if self.period < in_period and in_period % self.period == 0:
+            # Upsampling: hold replicates values slot-locally, but linear
+            # interpolation clamps at the window edge, so widening the window
+            # changes the samples near every original boundary.
+            return self.mode != "interpolate"
+        if self.period > in_period and self.period % in_period == 0:
+            return True
+        # Non-multiple periods fall back to carry-less active sampling, whose
+        # boundary behaviour depends on the window extent.
+        return False
+
     def compute(self, output: FWindow, inputs: Sequence[FWindow], state) -> None:
         source = inputs[0]
         source.trace_read()

@@ -67,6 +67,12 @@ class ShapeWhere(Operator):
         # The FWindow must be able to hold at least one full candidate shape.
         return self.shape.size * inputs[0].period
 
+    def batch_safe(self, inputs: Sequence[StreamDescriptor]) -> bool:
+        # Matching normalises against the window's own value range and scans
+        # the window's populated span, both of which change with the window
+        # extent.
+        return False
+
     def make_state(self):
         # Bounded cross-window state: the trailing (shape length - 1) samples
         # of the previous window, so that artifacts straddling an FWindow

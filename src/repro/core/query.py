@@ -25,7 +25,8 @@ with a 200 Hz stream after subtracting a 100 ms tumbling mean::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -73,10 +74,17 @@ class QuerySpec:
 class Query:
     """A composable temporal query over one or more periodic streams."""
 
-    _counter = 0
+    # Monotonic allocator for node names.  ``next()`` on an itertools.count
+    # is atomic under the GIL, so queries built concurrently from several
+    # threads can never be handed the same name.
+    _name_allocator = itertools.count(1)
 
     def __init__(self, spec: QuerySpec) -> None:
         self._spec = spec
+
+    @staticmethod
+    def _next_id() -> int:
+        return next(Query._name_allocator)
 
     # -- construction -------------------------------------------------------
 
@@ -112,8 +120,7 @@ class Query:
     @staticmethod
     def from_source(source: StreamSource, name: str | None = None) -> "Query":
         """Build a query directly over a concrete stream source object."""
-        Query._counter += 1
-        label = name or f"source_{Query._counter}"
+        label = name or f"source_{Query._next_id()}"
         spec = QuerySpec(kind="source", name=label, source_name=label, bound_source=source)
         return Query(spec)
 
@@ -123,10 +130,9 @@ class Query:
         return self._spec
 
     def _apply(self, operator: Operator, *others: "Query") -> "Query":
-        Query._counter += 1
         spec = QuerySpec(
             kind="operator",
-            name=f"{operator.name.lower()}_{Query._counter}",
+            name=f"{operator.name.lower()}_{Query._next_id()}",
             operator=operator,
             inputs=[self._spec] + [other._spec for other in others],
         )
@@ -311,8 +317,93 @@ class Query:
         walk(self._spec)
         return count
 
+    # -- normalization -----------------------------------------------------------
+
+    def normalized(self) -> "Query":
+        """Return an equivalent query with a canonicalised spec tree.
+
+        This is the query-layer hook of the compiler's ``normalize`` pass:
+        adjacent ``Shift`` nodes are merged, no-op shifts are dropped, and an
+        ``AlterDuration`` directly shadowing another ``AlterDuration`` elides
+        the inner one.  Nodes shared via ``Multicast`` are left untouched so
+        the rewrite can never change how many times a shared stream is
+        computed.
+        """
+        return Query(normalize_spec(self._spec))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Query {self._spec.name} over {sorted(self.source_names())}>"
+
+
+def _spec_consumer_counts(root: QuerySpec) -> dict[int, int]:
+    """Number of parents of every spec node in the DAG rooted at *root*."""
+    counts: dict[int, int] = {}
+    seen: set[int] = set()
+
+    def walk(spec: QuerySpec) -> None:
+        if id(spec) in seen:
+            return
+        seen.add(id(spec))
+        for child in spec.inputs:
+            counts[id(child)] = counts.get(id(child), 0) + 1
+            walk(child)
+
+    counts[id(root)] = counts.get(id(root), 0)
+    walk(root)
+    return counts
+
+
+def normalize_spec(root: QuerySpec) -> QuerySpec:
+    """Canonicalise a spec DAG (the compiler's normalize pass, spec level).
+
+    Rewrites applied, innermost first:
+
+    * ``Shift(0)`` is removed;
+    * ``Shift(a)`` applied to a ``Shift(b)`` with a single consumer merges
+      into ``Shift(a + b)``;
+    * ``AlterDuration`` applied directly to another single-consumer
+      ``AlterDuration`` drops the shadowed inner node.
+
+    Shared (multicast) nodes are never rewritten away, and the input DAG is
+    not mutated — changed regions are rebuilt as fresh spec nodes.
+    """
+    consumers = _spec_consumer_counts(root)
+    memo: dict[int, QuerySpec] = {}
+
+    def rewrite(spec: QuerySpec) -> QuerySpec:
+        cached = memo.get(id(spec))
+        if cached is not None:
+            return cached
+        if spec.kind != "operator":
+            memo[id(spec)] = spec
+            return spec
+        inputs = [rewrite(child) for child in spec.inputs]
+        result = spec if inputs == spec.inputs else replace(spec, inputs=inputs)
+        op = result.operator
+        if isinstance(op, Shift):
+            inner = result.inputs[0]
+            if (
+                inner.kind == "operator"
+                and isinstance(inner.operator, Shift)
+                and consumers.get(id(spec.inputs[0]), 0) <= 1
+            ):
+                merged = Shift(op.offset + inner.operator.offset)
+                result = replace(result, operator=merged, inputs=list(inner.inputs))
+                op = merged
+            if op.offset == 0:
+                result = result.inputs[0]
+        elif isinstance(op, AlterDuration):
+            inner = result.inputs[0]
+            if (
+                inner.kind == "operator"
+                and isinstance(inner.operator, AlterDuration)
+                and consumers.get(id(spec.inputs[0]), 0) <= 1
+            ):
+                result = replace(result, inputs=list(inner.inputs))
+        memo[id(spec)] = result
+        return result
+
+    return rewrite(root)
 
 
 class WindowedQuery:

@@ -1,6 +1,26 @@
-"""Runtime: plan execution and results."""
+"""Runtime: plan execution, pluggable backends, and results."""
 
-from repro.core.runtime.executor import execute_plan
+from repro.core.runtime.backends import (
+    BatchedBackend,
+    ExecutionBackend,
+    MultiprocessBackend,
+    SerialBackend,
+    plan_batch_safe,
+    plan_warmup_windows,
+)
+from repro.core.runtime.executor import eager_window_count, execute_plan, run_window_loop
 from repro.core.runtime.result import ExecutionStats, StreamResult
 
-__all__ = ["execute_plan", "ExecutionStats", "StreamResult"]
+__all__ = [
+    "execute_plan",
+    "run_window_loop",
+    "eager_window_count",
+    "ExecutionStats",
+    "StreamResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "BatchedBackend",
+    "MultiprocessBackend",
+    "plan_batch_safe",
+    "plan_warmup_windows",
+]

@@ -1,0 +1,279 @@
+"""Pluggable execution backends.
+
+A backend decides *how* a compiled plan's window loop is driven:
+
+* :class:`SerialBackend` — one window at a time, in-process (the engine's
+  historical semantics and the reference implementation);
+* :class:`BatchedBackend` — dispatches runs of consecutive FWindows per
+  call by executing a widened twin of the plan, amortising the per-window
+  graph walk (window slides, presence-vector clears, Python dispatch) over
+  ``batch_windows`` windows at a time;
+* :class:`MultiprocessBackend` — shards disjoint output-window ranges
+  across worker processes and merges the per-shard ``StreamResult``s,
+  giving real multi-core execution for the Figure 10(c) study.
+
+All backends produce bit-identical :class:`~repro.core.runtime.result.StreamResult`
+event columns for the same plan; the parity suite in
+``tests/core/test_backends.py`` asserts this across operator-chain queries
+in both targeted and eager modes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+
+from repro.core.compiler import CompiledPlan, compile_plan, uniform_dimension
+from repro.core.graph import OperatorNode, topological_order
+from repro.core.runtime.executor import (
+    _window_starts,
+    build_stats,
+    eager_window_count,
+    run_window_loop,
+)
+from repro.core.runtime.result import StreamResult
+from repro.errors import ExecutionError
+
+
+class ExecutionBackend:
+    """Base class for execution backends."""
+
+    #: Short name used in stats, benchmarks and error messages.
+    name = "backend"
+
+    def execute(
+        self, plan: CompiledPlan, targeted: bool = True, collect: bool = True
+    ) -> StreamResult:
+        """Run *plan* and return its result stream."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute every window in order, in the calling process."""
+
+    name = "serial"
+
+    def execute(
+        self, plan: CompiledPlan, targeted: bool = True, collect: bool = True
+    ) -> StreamResult:
+        starts = _window_starts(plan, targeted)
+        times, values, durations, elapsed, windows_run = run_window_loop(plan, starts, collect)
+        stats = build_stats(plan, windows_run, int(times.size), elapsed, targeted)
+        return StreamResult(times, values, durations, stats=stats)
+
+
+def plan_batch_safe(plan: CompiledPlan) -> bool:
+    """True when every operator's output is invariant to window widening.
+
+    Checked via :meth:`~repro.core.operators.base.Operator.batch_safe`; the
+    batched backend only widens plans where this holds and silently falls
+    back to serial execution otherwise, so correctness never depends on the
+    backend choice.
+    """
+    for node in topological_order(plan.sink):
+        if isinstance(node, OperatorNode):
+            inputs = [inp.descriptor for inp in node.inputs]
+            if not node.operator.batch_safe(inputs):
+                return False
+    return True
+
+
+class BatchedBackend(ExecutionBackend):
+    """Dispatch runs of consecutive FWindows per call.
+
+    The backend compiles a twin of the plan whose uniform dimension is
+    ``batch_windows`` times the original, so each ``fill`` of the twin's
+    sink processes a run of ``batch_windows`` consecutive original windows
+    in one graph walk.  Locality tracing scales every dimension by the same
+    integer factor, so all alignment constraints are preserved and the twin
+    computes the same events (windows outside the output coverage hold no
+    present events — the targeted/eager equivalence the engine already
+    guarantees).  The trade-off is ``batch_windows``× larger FWindow
+    buffers.
+
+    Widening is only exact for plans whose operators are all
+    window-widening-invariant (:func:`plan_batch_safe`); plans containing a
+    boundary-sensitive operator (interpolating resample, clip join, shape
+    matching) execute serially instead.
+
+    The twin is compiled lazily on first use and cached per plan, so
+    repeated runs of a :class:`~repro.core.engine.CompiledQuery` pay the
+    extra compilation once.
+    """
+
+    name = "batched"
+
+    def __init__(self, batch_windows: int = 16):
+        if batch_windows < 1:
+            raise ExecutionError(f"batch_windows must be positive, got {batch_windows}")
+        self.batch_windows = int(batch_windows)
+
+    def _twin(self, plan: CompiledPlan) -> CompiledPlan | None:
+        # The twin cache lives on the plan itself (keyed by batch factor) so
+        # its lifetime is tied to the plan's: a backend that executes many
+        # plans never accumulates buffers for plans the caller has dropped.
+        # A twin of None records "not batch-safe, run serially".
+        cache: dict[int, CompiledPlan | None] = plan.__dict__.setdefault(
+            "_batched_twins", {}
+        )
+        if self.batch_windows in cache:
+            return cache[self.batch_windows]
+        if not plan_batch_safe(plan):
+            cache[self.batch_windows] = None
+            return None
+        if plan.query is None:
+            raise ExecutionError(
+                "batched execution needs the plan's source query to compile a "
+                "widened twin; compile the plan via compile_plan()/LifeStreamEngine"
+            )
+        dimension = uniform_dimension(plan.sink)
+        twin = compile_plan(
+            plan.query,
+            sources=plan.sources,
+            window_size=self.batch_windows * dimension,
+            tracer=plan.tracer,
+            optimization_level=plan.optimization_level,
+        )
+        cache[self.batch_windows] = twin
+        return twin
+
+    def execute(
+        self, plan: CompiledPlan, targeted: bool = True, collect: bool = True
+    ) -> StreamResult:
+        twin = self._twin(plan) if self.batch_windows > 1 else None
+        target = plan if twin is None else twin
+        starts = _window_starts(target, targeted)
+        times, values, durations, elapsed, windows_run = run_window_loop(target, starts, collect)
+        stats = build_stats(target, windows_run, int(times.size), elapsed, targeted)
+        if twin is not None:
+            # Report window counts in the *original* plan's geometry so
+            # backend sweeps compare like with like: every twin window is a
+            # run of ``batch_windows`` original windows (the final run may
+            # overhang the stream end, hence the clamp).  Batched runs
+            # genuinely compute the coverage holes inside each run, so
+            # windows_skipped is honestly lower than a serial targeted run's.
+            # preallocated_bytes stays the twin's — that is the memory this
+            # execution mode actually allocated.
+            eager_total = eager_window_count(plan)
+            stats.output_windows = min(windows_run * self.batch_windows, eager_total)
+            stats.windows_skipped = (
+                max(0, eager_total - stats.output_windows) if targeted else 0
+            )
+            stats.per_node_windows = {
+                name: count * self.batch_windows
+                for name, count in stats.per_node_windows.items()
+            }
+            stats.windows_computed = sum(stats.per_node_windows.values())
+        return StreamResult(times, values, durations, stats=stats)
+
+
+def plan_warmup_windows(plan: CompiledPlan) -> int:
+    """Windows of history a shard must replay to rebuild operator state."""
+    dimension = plan.sink.dimension
+    if dimension is None:
+        raise ExecutionError("plan has no dimensions assigned; was it compiled?")
+    needed = 0
+    for node in topological_order(plan.sink):
+        if isinstance(node, OperatorNode):
+            needed = max(needed, node.operator.warmup_windows(dimension))
+    return needed
+
+
+#: Per-process state handed to forked shard workers.  Set by the parent
+#: immediately before the pool is created; forked children inherit it (the
+#: plan graph holds lambdas and NumPy buffers, which cannot be pickled).
+#: Guarded by ``_SHARD_LOCK`` so concurrent multiprocess executions from
+#: different threads cannot observe each other's plan.
+_SHARD_STATE: tuple[CompiledPlan, list[int], bool, int] | None = None
+_SHARD_LOCK = threading.Lock()
+
+
+def _run_shard(bounds: tuple[int, int]):
+    """Worker: execute the start range ``[lo, hi)`` of the shared plan."""
+    plan, starts, collect, warmup = _SHARD_STATE
+    lo, hi = bounds
+    warmup_starts = starts[max(0, lo - warmup) : lo]
+    times, values, durations, _, windows_run = run_window_loop(
+        plan, starts[lo:hi], collect, warmup_starts=warmup_starts
+    )
+    per_node = {
+        node.name: node.windows_computed for node in topological_order(plan.sink)
+    }
+    return times, values, durations, windows_run, per_node
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """Shard disjoint output-window ranges across worker processes.
+
+    The targeted window-start list is split into ``n_workers`` contiguous
+    shards.  Each worker (a forked child, so the unpicklable plan graph is
+    inherited rather than serialised) replays the few windows preceding its
+    shard to rebuild stateful operators' carries, executes its range, and
+    ships the columnar results back; the parent concatenates them in shard
+    order, which keeps the merged stream chronologically sorted.
+
+    Requires the ``fork`` start method; platforms without it (or runs with
+    ``n_workers=1``) fall back to serial in-process execution.
+    """
+
+    name = "multiprocess"
+
+    def __init__(self, n_workers: int = 2, warmup_windows: int | None = None):
+        if n_workers < 1:
+            raise ExecutionError(f"n_workers must be positive, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.warmup_windows = warmup_windows
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def execute(
+        self, plan: CompiledPlan, targeted: bool = True, collect: bool = True
+    ) -> StreamResult:
+        global _SHARD_STATE
+        starts = _window_starts(plan, targeted)
+        if self.n_workers == 1 or len(starts) < 2 * self.n_workers or not self._fork_available():
+            return SerialBackend().execute(plan, targeted=targeted, collect=collect)
+
+        warmup = (
+            self.warmup_windows
+            if self.warmup_windows is not None
+            else plan_warmup_windows(plan)
+        )
+        bounds = []
+        per_shard = -(-len(starts) // self.n_workers)
+        for lo in range(0, len(starts), per_shard):
+            bounds.append((lo, min(lo + per_shard, len(starts))))
+
+        began = time.perf_counter()
+        with _SHARD_LOCK:
+            _SHARD_STATE = (plan, starts, collect, warmup)
+            try:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(len(bounds)) as pool:
+                    shard_results = pool.map(_run_shard, bounds)
+            finally:
+                _SHARD_STATE = None
+        elapsed = time.perf_counter() - began
+
+        times = np.concatenate([shard[0] for shard in shard_results])
+        values = np.concatenate([shard[1] for shard in shard_results])
+        durations = np.concatenate([shard[2] for shard in shard_results])
+        windows_run = sum(shard[3] for shard in shard_results)
+        stats = build_stats(plan, windows_run, int(times.size), elapsed, targeted)
+        # The parent plan never executed; fold the workers' per-node counts
+        # (shard warm-up replays are included — they are real work done).
+        per_node: dict[str, int] = {}
+        for shard in shard_results:
+            for name, count in shard[4].items():
+                per_node[name] = per_node.get(name, 0) + count
+        stats.per_node_windows = per_node
+        stats.windows_computed = sum(per_node.values())
+        return StreamResult(times, values, durations, stats=stats)

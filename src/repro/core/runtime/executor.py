@@ -14,11 +14,16 @@ In **eager** mode the executor mimics conventional engines: every window in
 the union of the sources' data spans is processed, whether or not it can
 produce output.  Eager mode exists for the ablation study (Figure 10(a))
 and for tests that check both modes produce identical results.
+
+This module provides the window-loop machinery; *how* the loop is driven
+(serially, in widened batches, or sharded across processes) is the job of
+the pluggable :mod:`~repro.core.runtime.backends`.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
@@ -27,6 +32,28 @@ from repro.core.graph import SourceNode, source_nodes, topological_order
 from repro.core.intervals import IntervalSet
 from repro.core.runtime.result import ExecutionStats, StreamResult
 from repro.errors import ExecutionError
+
+
+def _eager_span(plan: CompiledPlan) -> tuple[int, int] | None:
+    """Time range an eager run must walk (None when every source is empty).
+
+    The union of the sources' data spans, widened to include the sink's
+    output coverage: stateful operators (shifts, sliding aggregates) can
+    emit events beyond the last source sample, and the eager walk must visit
+    those tail windows no matter what window geometry the backend uses —
+    this is what keeps eager results identical to targeted ones.
+    """
+    spans = [node.coverage.span() for node in source_nodes(plan.sink) if node.coverage]
+    if not spans:
+        return None
+    start = min(span[0] for span in spans)
+    end = max(span[1] for span in spans)
+    sink_coverage = plan.sink.coverage
+    if sink_coverage:
+        coverage_start, coverage_end = sink_coverage.span()
+        start = min(start, coverage_start)
+        end = max(end, coverage_end)
+    return start, end
 
 
 def _window_starts(plan: CompiledPlan, targeted: bool) -> list[int]:
@@ -41,39 +68,62 @@ def _window_starts(plan: CompiledPlan, targeted: bool) -> list[int]:
     else:
         # Eager processing: walk every window in the union of the sources'
         # spans, exactly as a push-based engine would ingest everything.
-        spans = [node.coverage.span() for node in source_nodes(sink) if node.coverage]
-        if not spans:
+        span = _eager_span(plan)
+        if span is None:
             return []
-        start = min(span[0] for span in spans)
-        end = max(span[1] for span in spans)
-        coverage = IntervalSet.single(start, end)
+        coverage = IntervalSet.single(*span)
     return list(coverage.iter_windows(dimension, offset))
 
 
-def execute_plan(
-    plan: CompiledPlan,
-    targeted: bool = True,
-    collect: bool = True,
-) -> StreamResult:
-    """Execute a compiled plan and return its result stream.
+def eager_window_count(plan: CompiledPlan) -> int:
+    """Number of windows an eager run would visit, by pure arithmetic.
 
-    With ``collect=False`` the output events are not materialised (the
-    windows are still fully computed); benchmarks that only measure engine
-    throughput use this to keep result accumulation out of the measurement.
+    Equivalent to ``len(_window_starts(plan, targeted=False))`` but derived
+    from the sources' span and the sink dimension without materialising a
+    window-start list, so the targeted executor can report how many windows
+    it skipped at no per-run cost.
+    """
+    sink = plan.sink
+    dimension = sink.dimension
+    if dimension is None:
+        raise ExecutionError("plan has no dimensions assigned; was it compiled?")
+    span = _eager_span(plan)
+    if span is None:
+        return 0
+    start, end = span
+    offset = sink.descriptor.offset
+    first = offset + ((start - offset) // dimension) * dimension
+    return max(0, -(-(end - first) // dimension))
+
+
+def run_window_loop(
+    plan: CompiledPlan,
+    starts: Sequence[int],
+    collect: bool = True,
+    warmup_starts: Sequence[int] = (),
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, int]:
+    """Drive the sink through *starts*, returning the collected columns.
+
+    The plan's runtime state is reset first.  ``warmup_starts`` are executed
+    before the collected range with their output discarded — backends that
+    enter the stream mid-way (sharded workers) use this to rebuild stateful
+    operators' carries exactly as a from-the-start run would have.
+
+    Returns ``(times, values, durations, elapsed_seconds, windows_run)``
+    where ``windows_run`` counts only the collected (non-warm-up) windows.
     """
     sink = plan.sink
     nodes = topological_order(sink)
     for node in nodes:
         node.reset()
 
-    starts = _window_starts(plan, targeted)
-    all_possible = _window_starts(plan, targeted=False)
-
     collected_times: list[np.ndarray] = []
     collected_values: list[np.ndarray] = []
     collected_durations: list[np.ndarray] = []
 
     began = time.perf_counter()
+    for start in warmup_starts:
+        sink.fill(start)
     for start in starts:
         sink.fill(start)
         if collect:
@@ -93,12 +143,27 @@ def execute_plan(
         times = np.empty(0, dtype=np.int64)
         values = np.empty(0, dtype=np.float64)
         durations = np.empty(0, dtype=np.int64)
+    return times, values, durations, elapsed, len(starts)
 
-    stats = ExecutionStats(
-        output_windows=len(starts),
+
+def build_stats(
+    plan: CompiledPlan,
+    output_windows: int,
+    events_emitted: int,
+    elapsed: float,
+    targeted: bool,
+) -> ExecutionStats:
+    """Assemble the :class:`ExecutionStats` for a completed run."""
+    nodes = topological_order(plan.sink)
+    if targeted:
+        skipped = max(0, eager_window_count(plan) - output_windows)
+    else:
+        skipped = 0
+    return ExecutionStats(
+        output_windows=output_windows,
         windows_computed=sum(node.windows_computed for node in nodes),
-        windows_skipped=max(0, len(all_possible) - len(starts)),
-        events_emitted=int(times.size),
+        windows_skipped=skipped,
+        events_emitted=events_emitted,
         events_ingested=sum(
             node.source.event_count() for node in nodes if isinstance(node, SourceNode)
         ),
@@ -107,4 +172,26 @@ def execute_plan(
         targeted=targeted,
         per_node_windows={node.name: node.windows_computed for node in nodes},
     )
+
+
+def execute_plan(
+    plan: CompiledPlan,
+    targeted: bool = True,
+    collect: bool = True,
+    backend=None,
+) -> StreamResult:
+    """Execute a compiled plan and return its result stream.
+
+    With ``collect=False`` the output events are not materialised (the
+    windows are still fully computed); benchmarks that only measure engine
+    throughput use this to keep result accumulation out of the measurement.
+
+    ``backend`` selects the execution strategy; ``None`` uses the serial
+    backend (the engine's historical semantics).
+    """
+    if backend is not None:
+        return backend.execute(plan, targeted=targeted, collect=collect)
+    starts = _window_starts(plan, targeted)
+    times, values, durations, elapsed, windows_run = run_window_loop(plan, starts, collect)
+    stats = build_stats(plan, windows_run, int(times.size), elapsed, targeted)
     return StreamResult(times, values, durations, stats=stats)

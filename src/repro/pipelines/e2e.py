@@ -36,8 +36,15 @@ DEFAULT_NORMALIZE_WINDOW = TICKS_PER_SECOND
 def lifestream_e2e_query(
     fill_gap: int = DEFAULT_FILL_GAP,
     normalize_window: int = DEFAULT_NORMALIZE_WINDOW,
+    resample_mode: str = "interpolate",
 ) -> Query:
-    """Build the Figure 3 pipeline as a LifeStream query over sources ``ecg``/``abp``."""
+    """Build the Figure 3 pipeline as a LifeStream query over sources ``ecg``/``abp``.
+
+    ``resample_mode`` selects the ABP upsampling strategy.  The paper's
+    pipeline interpolates; the backend-comparison benchmark uses ``"hold"``,
+    whose output is invariant to the window geometry, so batched (widened)
+    execution stays bit-identical to serial.
+    """
     ecg_period = period_from_hz(ECG_HZ)
     abp_period = period_from_hz(ABP_HZ)
 
@@ -49,7 +56,7 @@ def lifestream_e2e_query(
     abp = (
         Query.source("abp", frequency_hz=ABP_HZ)
         .transform(normalize_window, kernels.fill_mean_kernel(fill_gap // abp_period))
-        .resample(frequency_hz=ECG_HZ, mode="interpolate")
+        .resample(frequency_hz=ECG_HZ, mode=resample_mode)
         .transform(normalize_window, kernels.zscore_kernel())
     )
     return ecg.join(abp, lambda left, right: left - right)
@@ -63,19 +70,41 @@ def run_lifestream_e2e(
     tracer=None,
     fill_gap: int = DEFAULT_FILL_GAP,
     normalize_window: int = DEFAULT_NORMALIZE_WINDOW,
+    backend=None,
+    optimization_level: int = 2,
 ) -> PipelineRun:
-    """Run the Figure 3 pipeline on LifeStream."""
+    """Run the Figure 3 pipeline on LifeStream.
+
+    ``backend`` selects the execution backend (serial when None) and
+    ``optimization_level`` the compiler pipeline's rewriting passes — the
+    knobs the backend-comparison and multi-core benchmarks sweep.
+    """
     from repro.core.sources import ArraySource
 
     ecg_source = ArraySource(ecg[0], ecg[1], period=period_from_hz(ECG_HZ))
     abp_source = ArraySource(abp[0], abp[1], period=period_from_hz(ABP_HZ))
-    engine = LifeStreamEngine(window_size=window_size, targeted=targeted, tracer=tracer)
+    engine = LifeStreamEngine(
+        window_size=window_size,
+        targeted=targeted,
+        tracer=tracer,
+        backend=backend,
+        optimization_level=optimization_level,
+    )
     query = lifestream_e2e_query(fill_gap=fill_gap, normalize_window=normalize_window)
 
     began = time.perf_counter()
     compiled = engine.compile(query, sources={"ecg": ecg_source, "abp": abp_source})
     result = compiled.run()
     elapsed = time.perf_counter() - began
+    backend_label = getattr(backend, "name", "serial")
+    if backend_label == "batched":
+        from repro.core.runtime.backends import plan_batch_safe
+
+        # The batched backend silently runs window-sensitive plans serially;
+        # label the path that actually executed so backend sweeps report
+        # honest numbers.
+        if not plan_batch_safe(compiled.plan):
+            backend_label = "serial (batched fallback)"
     return PipelineRun(
         engine="lifestream",
         elapsed_seconds=elapsed,
@@ -86,6 +115,7 @@ def run_lifestream_e2e(
             "windows_skipped": result.stats.windows_skipped,
             "preallocated_bytes": result.stats.preallocated_bytes,
             "targeted": targeted,
+            "backend": backend_label,
         },
     )
 

@@ -94,3 +94,27 @@ class TestValidationAtCompileTime:
         query = Query.from_source(ramp_500hz).select(lambda v: v * 2)
         result = engine.run(query)
         assert len(result) == ramp_500hz.event_count()
+
+
+class TestConcurrentNaming:
+    def test_node_names_unique_across_threads(self):
+        """The itertools.count-based allocator never hands out duplicate names."""
+        import threading
+
+        names: list[str] = []
+        lock = threading.Lock()
+
+        def build(count: int) -> None:
+            local = [
+                Query.source("s", frequency_hz=500).select(lambda v: v).spec.name
+                for _ in range(count)
+            ]
+            with lock:
+                names.extend(local)
+
+        threads = [threading.Thread(target=build, args=(200,)) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(names) == len(set(names)) == 1600
