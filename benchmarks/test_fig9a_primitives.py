@@ -7,7 +7,6 @@ at parity while the stateful/combining primitives are substantially faster
 on LifeStream.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import get_report, timed_benchmark

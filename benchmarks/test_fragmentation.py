@@ -8,7 +8,6 @@ stages and records the worst interior fragmentation observed in any FWindow
 of the plan.
 """
 
-import pytest
 
 from benchmarks.conftest import get_report, timed_benchmark
 from repro.core.engine import LifeStreamEngine

@@ -16,7 +16,6 @@ engines (Spark/Storm/Flink stand-ins), the Trill-like baseline, the NumLib
 upsampling, with LifeStream close to or above Trill.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import get_report, timed_benchmark

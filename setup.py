@@ -29,6 +29,9 @@ setup(
             "pytest-benchmark>=4",
             "hypothesis>=6",
         ],
+        "lint": [
+            "ruff>=0.4",
+        ],
     },
     classifiers=[
         "Programming Language :: Python :: 3",

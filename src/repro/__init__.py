@@ -37,6 +37,8 @@ from repro.core import (
     StreamDescriptor,
     StreamResult,
     StreamSource,
+    StreamingSession,
+    TickStats,
     period_from_hz,
 )
 from repro.core.timeutil import TICKS_PER_HOUR, TICKS_PER_MINUTE, TICKS_PER_SECOND
@@ -61,6 +63,8 @@ __all__ = [
     "IntervalSet",
     "StreamResult",
     "StreamSource",
+    "StreamingSession",
+    "TickStats",
     "ExecutionBackend",
     "SerialBackend",
     "BatchedBackend",

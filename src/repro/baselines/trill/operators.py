@@ -15,7 +15,6 @@ from typing import Callable
 import numpy as np
 
 from repro.baselines.trill.batch import EventBatch
-from repro.errors import TrillOutOfMemoryError
 
 
 class TrillOperator:

@@ -22,6 +22,7 @@ from repro.core.runtime.backends import (
     SerialBackend,
 )
 from repro.core.runtime.result import ExecutionStats, StreamResult
+from repro.core.runtime.session import StreamingSession, TickStats
 from repro.core.sources import ArraySource, CsvSource, ReplaySource, StreamSource, write_csv
 from repro.core.timeutil import (
     TICKS_PER_HOUR,
@@ -41,6 +42,8 @@ __all__ = [
     "IntervalSet",
     "StreamResult",
     "ExecutionStats",
+    "StreamingSession",
+    "TickStats",
     "ExecutionBackend",
     "SerialBackend",
     "BatchedBackend",

@@ -50,12 +50,18 @@ class CompiledQuery:
         self._plan = plan
         self._targeted = targeted
         self._backend = backend
+        self._session = None
         self.last_stats = None
 
     @property
     def plan(self) -> CompiledPlan:
         """The underlying compiled plan (graph, dimensions, buffers, coverage)."""
         return self._plan
+
+    @property
+    def targeted(self) -> bool:
+        """Whether runs default to targeted query processing."""
+        return self._targeted
 
     @property
     def window_size(self) -> int:
@@ -84,6 +90,13 @@ class CompiledQuery:
         processing on the same compiled plan; ``backend`` likewise overrides
         the engine-level execution backend.
         """
+        if self._session is not None:
+            raise ExecutionError(
+                "this compiled query has an open StreamingSession, which owns "
+                "the plan's runtime state (FWindow positions, operator carries); "
+                "close the session before running one-shot, or compile a "
+                "separate copy of the query"
+            )
         use_targeted = self._targeted if targeted is None else targeted
         use_backend = self._backend if backend is None else backend
         result = execute_plan(
@@ -91,6 +104,40 @@ class CompiledQuery:
         )
         self.last_stats = result.stats
         return result
+
+    def open_session(
+        self,
+        targeted: bool | None = None,
+        backend: ExecutionBackend | None = None,
+        checkpoint=None,
+    ) -> "StreamingSession":
+        """Open an incremental :class:`~repro.core.runtime.session.StreamingSession`.
+
+        The session takes exclusive ownership of the plan's runtime state;
+        ``run()`` is rejected until it is closed.  Pass ``checkpoint=`` (a
+        dict from :meth:`StreamingSession.checkpoint` or a path to a pickled
+        one) to resume a previous session's stream position and carries.
+        """
+        from repro.core.runtime.session import StreamingSession
+
+        use_backend = self._backend if backend is None else backend
+        return StreamingSession(
+            self, targeted=targeted, backend=use_backend, checkpoint=checkpoint
+        )
+
+    def attach_session(self, session) -> None:
+        """Record *session* as the exclusive owner of the plan's runtime state."""
+        if self._session is not None:
+            raise ExecutionError(
+                "this compiled query already has an open StreamingSession; "
+                "close it before opening another"
+            )
+        self._session = session
+
+    def detach_session(self, session) -> None:
+        """Release the plan (called by :meth:`StreamingSession.close`)."""
+        if self._session is session:
+            self._session = None
 
 
 class LifeStreamEngine:
@@ -137,3 +184,23 @@ class LifeStreamEngine:
         """Compile and execute *query* in one call."""
         compiled = self.compile(query, sources)
         return compiled.run(targeted=targeted, collect=collect)
+
+    def open_session(
+        self,
+        query: Query,
+        sources: dict[str, StreamSource] | None = None,
+        targeted: bool | None = None,
+        checkpoint=None,
+    ):
+        """Compile *query* and hold it open as an incremental streaming session.
+
+        Sources wrapped in :class:`~repro.core.sources.ReplaySource` gate
+        execution on their watermark: each ``session.advance(watermark)``
+        (or ``poll()`` after advancing the sources directly) executes only
+        the output windows that became fully covered since the last tick,
+        carrying operator state forward instead of recomputing from time
+        zero.  ``session.finish()`` drains the tail; ``checkpoint=`` resumes
+        a checkpointed session (see :class:`StreamingSession`).
+        """
+        compiled = self.compile(query, sources)
+        return compiled.open_session(targeted=targeted, checkpoint=checkpoint)

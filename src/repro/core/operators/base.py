@@ -24,6 +24,7 @@ An operator contributes four pieces of information:
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Sequence
 
 import numpy as np
@@ -121,6 +122,24 @@ class Operator:
     def make_state(self):
         """Create the operator's constant-size cross-window state (or None)."""
         return None
+
+    def snapshot_state(self, state):
+        """Picklable deep copy of the operator's cross-window state.
+
+        Streaming sessions checkpoint a long-lived plan by snapshotting every
+        operator's carry state (Shift FIFOs, sliding-aggregate tails, join
+        carries) mid-stream; :meth:`restore_state` rebuilds the state on a
+        freshly compiled plan so execution resumes exactly where it stopped.
+        The default deep copy is correct for every built-in operator, whose
+        states hold only NumPy arrays, tuples and plain containers; operators
+        with exotic state (open handles, views into shared buffers) must
+        override both methods.
+        """
+        return copy.deepcopy(state)
+
+    def restore_state(self, snapshot):
+        """Rebuild cross-window state from a :meth:`snapshot_state` result."""
+        return copy.deepcopy(snapshot)
 
     def compute(self, output: FWindow, inputs: Sequence[FWindow], state) -> None:
         """Fill *output* from the already-positioned and filled *inputs*."""

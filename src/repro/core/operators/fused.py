@@ -103,6 +103,12 @@ class FusedElementwise(Operator):
     def make_state(self):
         return [op.make_state() for op, _ in self.stages]
 
+    def snapshot_state(self, state):
+        return [op.snapshot_state(s) for (op, _), s in zip(self.stages, state)]
+
+    def restore_state(self, snapshot):
+        return [op.restore_state(s) for (op, _), s in zip(self.stages, snapshot)]
+
     def compute(self, output: FWindow, inputs: Sequence[FWindow], state) -> None:
         source = inputs[0]
         source.trace_read()

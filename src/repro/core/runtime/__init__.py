@@ -10,6 +10,7 @@ from repro.core.runtime.backends import (
 )
 from repro.core.runtime.executor import eager_window_count, execute_plan, run_window_loop
 from repro.core.runtime.result import ExecutionStats, StreamResult
+from repro.core.runtime.session import StreamingSession, TickStats
 
 __all__ = [
     "execute_plan",
@@ -17,6 +18,8 @@ __all__ = [
     "eager_window_count",
     "ExecutionStats",
     "StreamResult",
+    "StreamingSession",
+    "TickStats",
     "ExecutionBackend",
     "SerialBackend",
     "BatchedBackend",

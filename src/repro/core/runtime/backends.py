@@ -50,6 +50,18 @@ class ExecutionBackend:
         """Run *plan* and return its result stream."""
         raise NotImplementedError
 
+    def session_plan(self, plan: CompiledPlan) -> CompiledPlan:
+        """The plan a :class:`~repro.core.runtime.session.StreamingSession`
+        should drive incrementally when this backend is selected.
+
+        Serial execution drives the plan itself; the batched backend hands
+        back its widened twin (so each session tick dispatches runs of
+        ``batch_windows`` windows per graph walk); backends that cannot keep
+        a single long-lived plan alive across ticks (multiprocess sharding)
+        raise ``NotImplementedError``.
+        """
+        return plan
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
 
@@ -143,6 +155,14 @@ class BatchedBackend(ExecutionBackend):
         cache[self.batch_windows] = twin
         return twin
 
+    def session_plan(self, plan: CompiledPlan) -> CompiledPlan:
+        # Non-batch-safe plans fall back to driving the original plan one
+        # window at a time, mirroring execute()'s serial fallback.
+        if self.batch_windows <= 1:
+            return plan
+        twin = self._twin(plan)
+        return plan if twin is None else twin
+
     def execute(
         self, plan: CompiledPlan, targeted: bool = True, collect: bool = True
     ) -> StreamResult:
@@ -233,6 +253,14 @@ class MultiprocessBackend(ExecutionBackend):
     @staticmethod
     def _fork_available() -> bool:
         return "fork" in multiprocessing.get_all_start_methods()
+
+    def session_plan(self, plan: CompiledPlan) -> CompiledPlan:
+        raise NotImplementedError(
+            "streaming sessions are not supported on the multiprocess backend: "
+            "sharding re-replays warm-up windows per run, which conflicts with "
+            "a single long-lived carry state; open the session with the serial "
+            "or batched backend instead"
+        )
 
     def execute(
         self, plan: CompiledPlan, targeted: bool = True, collect: bool = True

@@ -96,6 +96,27 @@ def eager_window_count(plan: CompiledPlan) -> int:
     return max(0, -(-(end - first) // dimension))
 
 
+def collect_sink_window(
+    sink,
+    times: list[np.ndarray],
+    values: list[np.ndarray],
+    durations: list[np.ndarray],
+) -> int:
+    """Append the sink FWindow's present events to the columnar accumulators.
+
+    The single materialisation point for output events — the window loop and
+    the incremental streaming session both emit through here, so their
+    results cannot drift apart.  Returns the number of events appended.
+    """
+    window = sink.fwindow
+    indices = window.present_indices()
+    if indices.size:
+        times.append(window.sync_time + indices * window.period)
+        values.append(window.values[indices].copy())
+        durations.append(window.durations[indices].copy())
+    return int(indices.size)
+
+
 def run_window_loop(
     plan: CompiledPlan,
     starts: Sequence[int],
@@ -127,12 +148,7 @@ def run_window_loop(
     for start in starts:
         sink.fill(start)
         if collect:
-            window = sink.fwindow
-            indices = window.present_indices()
-            if indices.size:
-                collected_times.append(window.sync_time + indices * window.period)
-                collected_values.append(window.values[indices].copy())
-                collected_durations.append(window.durations[indices].copy())
+            collect_sink_window(sink, collected_times, collected_values, collected_durations)
     elapsed = time.perf_counter() - began
 
     if collected_times:

@@ -1,0 +1,473 @@
+"""Incremental streaming sessions.
+
+A :class:`StreamingSession` holds a compiled query open against live (or
+replayed) sources and turns the Section-4 FWindow slide into a long-lived
+loop: every :meth:`advance`/:meth:`poll` executes only the output windows
+that became newly computable since the previous tick, while the stateful
+operators' carries (Shift FIFOs, sliding-aggregate tails, join carries)
+persist in the plan graph between ticks.  A one-shot ``engine.run`` over
+the same final coverage and an incremental session that reached the same
+watermark produce bit-identical results — the parity suite in
+``tests/core/test_session.py`` asserts this across backends and modes.
+
+Three mechanisms make the loop incremental:
+
+* **coverage refresh** — :class:`~repro.core.sources.ReplaySource` reports
+  coverage clipped to its watermark, so re-running the compiler's lineage
+  propagation over the live plan graph each tick yields exactly the output
+  windows the targeted executor would visit if the stream ended now;
+* **the emission frontier** — the session remembers the last window start
+  it executed and only runs strictly later windows.  Coverage only ever
+  grows forward as watermarks advance, so the union of per-tick frontiers
+  equals the one-shot window list;
+* **readiness gating** — a window is only executed once every replayed
+  source's watermark has passed the *entire* input span that window reads
+  (computed by walking the graph with each operator's event-lineage map).
+  Windows straddling a watermark are deferred, never executed on partial
+  data; :meth:`finish` drains them once the sources are exhausted.
+
+Sessions checkpoint to disk (:meth:`checkpoint`) by snapshotting every
+operator's carry state via :meth:`~repro.core.operators.base.Operator.snapshot_state`
+together with the emission frontier, source watermarks and the events
+emitted so far; restoring onto a freshly compiled plan resumes the stream
+exactly where it stopped, even after a crash.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.compiler.lineage import propagate_coverage
+from repro.core.graph import OperatorNode, SourceNode, topological_order
+from repro.core.intervals import IntervalSet
+from repro.core.runtime.executor import _eager_span, collect_sink_window, eager_window_count
+from repro.core.runtime.result import ExecutionStats, StreamResult
+from repro.core.sources import ReplaySource
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import CompiledQuery
+
+#: On-disk checkpoint format identifier (bump when the layout changes).
+CHECKPOINT_FORMAT = "lifestream-session-checkpoint/v1"
+
+
+@dataclass
+class TickStats:
+    """Instrumentation record of one session tick.
+
+    ``plan_seconds`` covers the per-tick compile-side work (coverage
+    refresh, frontier computation, readiness gating); ``execute_seconds``
+    the backend window loop.  Profile-guided adaptation reads these to tune
+    batch sizing from observed tick profiles.
+    """
+
+    #: 1-based tick index within the session.
+    index: int
+    #: Minimum watermark across the session's replay sources after this tick
+    #: (None when the session has no replayed source).
+    watermark: int | None
+    #: Windows executed this tick.
+    windows_run: int
+    #: Events emitted this tick.
+    events_emitted: int
+    #: Newly-covered windows deferred because their input span still crosses
+    #: a watermark (they run on a later tick).
+    windows_deferred: int
+    #: Seconds spent refreshing coverage and computing the ready frontier.
+    plan_seconds: float
+    #: Seconds spent in the window loop.
+    execute_seconds: float
+    #: Name of the execution backend driving the session.
+    backend: str
+    #: Windows executed since the session (or its restored lineage) started.
+    cumulative_windows: int
+    #: Events emitted since the session (or its restored lineage) started.
+    cumulative_events: int
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total wall-clock seconds of this tick."""
+        return self.plan_seconds + self.execute_seconds
+
+
+class StreamingSession:
+    """A compiled query held open for incremental, tick-by-tick execution.
+
+    The session takes exclusive ownership of the compiled plan's runtime
+    state (FWindow positions and operator carries); one-shot ``run()`` calls
+    on the same :class:`~repro.core.engine.CompiledQuery` are rejected until
+    the session is closed.  Construct via
+    :meth:`~repro.core.engine.LifeStreamEngine.open_session`.
+    """
+
+    def __init__(
+        self,
+        compiled: "CompiledQuery",
+        targeted: bool | None = None,
+        backend=None,
+        checkpoint: dict | str | Path | None = None,
+    ) -> None:
+        self._compiled = compiled
+        use_backend = compiled.backend if backend is None else backend
+        self._backend_name = getattr(use_backend, "name", "serial")
+        self._plan = (
+            compiled.plan if use_backend is None else use_backend.session_plan(compiled.plan)
+        )
+        self._targeted = compiled.targeted if targeted is None else targeted
+        self._nodes = topological_order(self._plan.sink)
+        self._operator_nodes = [n for n in self._nodes if isinstance(n, OperatorNode)]
+        self._source_nodes = [n for n in self._nodes if isinstance(n, SourceNode)]
+        self._replay_nodes = [
+            n for n in self._source_nodes if isinstance(n.source, ReplaySource)
+        ]
+        self._last_start: int | None = None
+        self._collected_times: list[np.ndarray] = []
+        self._collected_values: list[np.ndarray] = []
+        self._collected_durations: list[np.ndarray] = []
+        self._windows_run = 0
+        self._ticks: list[TickStats] = []
+        self._finished = False
+        self._closed = False
+        # Claim exclusivity BEFORE touching any runtime state: if another
+        # session already owns the plan, attach_session raises and the live
+        # session's carries/watermarks are left untouched.
+        compiled.attach_session(self)
+        try:
+            for node in self._nodes:
+                node.reset()
+            if checkpoint is not None:
+                self._apply_checkpoint(checkpoint)
+        except BaseException:
+            self._closed = True
+            compiled.detach_session(self)
+            raise
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def ticks(self) -> list[TickStats]:
+        """Per-tick instrumentation records, oldest first."""
+        return list(self._ticks)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the execution backend driving the session."""
+        return self._backend_name
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has drained the stream."""
+        return self._finished
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` released the plan."""
+        return self._closed
+
+    @property
+    def watermark(self) -> int | None:
+        """Minimum watermark across the replayed sources (None if none)."""
+        if not self._replay_nodes:
+            return None
+        return min(node.source.watermark for node in self._replay_nodes)
+
+    @property
+    def frontier(self) -> int | None:
+        """Start time of the last executed output window (None before any)."""
+        return self._last_start
+
+    # -- the tick loop -----------------------------------------------------
+
+    def advance(self, watermark: int) -> TickStats:
+        """Advance every replayed source to *watermark* and run the new windows."""
+        self._require_open()
+        if self._finished:
+            raise ExecutionError("session is finished; no more data can arrive")
+        for node in self._replay_nodes:
+            if watermark > node.source.watermark:
+                node.source.advance(watermark)
+        return self.poll()
+
+    def poll(self) -> TickStats:
+        """Execute every newly-covered, fully-ready output window."""
+        self._require_open()
+        return self._tick(drain=False)
+
+    def finish(self) -> TickStats:
+        """Declare the stream complete and drain all remaining windows.
+
+        Advances every replayed source to the end of its underlying data and
+        executes the deferred tail (windows whose input span extended past
+        the last watermark — aggregate lookback tails, shift carries).  After
+        this, :meth:`result` is bit-identical to a one-shot run over the full
+        data.  Idempotent.
+        """
+        self._require_open()
+        if self._finished:
+            return self._empty_tick()
+        for node in self._replay_nodes:
+            node.source.advance_to_end()
+        stats = self._tick(drain=True)
+        self._finished = True
+        return stats
+
+    def _tick(self, drain: bool) -> TickStats:
+        began = time.perf_counter()
+        propagate_coverage(self._plan.sink)
+        new = self._new_window_starts()
+        ready: list[int] = []
+        deferred = 0
+        for start in new:
+            if drain or self._window_ready(start):
+                ready.append(start)
+            else:
+                # Windows must run in order (FWindows only slide forward);
+                # everything past the first unready window waits too.
+                deferred = len(new) - len(ready)
+                break
+        planned = time.perf_counter()
+
+        sink = self._plan.sink
+        events = 0
+        for start in ready:
+            sink.fill(start)
+            events += collect_sink_window(
+                sink, self._collected_times, self._collected_values,
+                self._collected_durations,
+            )
+        executed = time.perf_counter()
+
+        if ready:
+            self._last_start = ready[-1]
+        self._windows_run += len(ready)
+        stats = TickStats(
+            index=len(self._ticks) + 1,
+            watermark=self.watermark,
+            windows_run=len(ready),
+            events_emitted=events,
+            windows_deferred=deferred,
+            plan_seconds=planned - began,
+            execute_seconds=executed - planned,
+            backend=self._backend_name,
+            cumulative_windows=self._windows_run,
+            cumulative_events=sum(t.size for t in self._collected_times),
+        )
+        self._ticks.append(stats)
+        return stats
+
+    def _empty_tick(self) -> TickStats:
+        stats = TickStats(
+            index=len(self._ticks) + 1,
+            watermark=self.watermark,
+            windows_run=0,
+            events_emitted=0,
+            windows_deferred=0,
+            plan_seconds=0.0,
+            execute_seconds=0.0,
+            backend=self._backend_name,
+            cumulative_windows=self._windows_run,
+            cumulative_events=sum(t.size for t in self._collected_times),
+        )
+        self._ticks.append(stats)
+        return stats
+
+    def _new_window_starts(self) -> list[int]:
+        """Output-window starts past the emission frontier, in order.
+
+        The sink coverage is clipped to the frontier before windows are
+        enumerated, so per-tick planning cost is proportional to the *new*
+        coverage, not to the stream's age — a session alive for weeks pays
+        the same per tick as one opened a second ago.
+        """
+        sink = self._plan.sink
+        dimension = sink.dimension
+        if self._targeted:
+            coverage = sink.coverage
+        else:
+            span = _eager_span(self._plan)
+            coverage = IntervalSet.empty() if span is None else IntervalSet.single(*span)
+        if self._last_start is not None and coverage:
+            end = coverage.span()[1]
+            # Windows at starts > frontier lie entirely past frontier + dim
+            # (starts sit on the dimension grid), so clipping there drops all
+            # already-executed coverage without losing any new window.
+            if end <= self._last_start + dimension:
+                return []
+            coverage = coverage.clip(self._last_start + dimension, end)
+        starts = coverage.iter_windows(dimension, sink.descriptor.offset)
+        if self._last_start is None:
+            return list(starts)
+        return [s for s in starts if s > self._last_start]
+
+    def _window_ready(self, start: int) -> bool:
+        """True when every replayed source's watermark covers the full input
+        span the output window starting at *start* would read."""
+        if not self._replay_nodes:
+            return True
+        ready = True
+
+        def walk(node, sync: int) -> None:
+            nonlocal ready
+            if not ready:
+                return
+            if isinstance(node, SourceNode):
+                if isinstance(node.source, ReplaySource):
+                    if sync + node.dimension > node.source.watermark:
+                        ready = False
+                return
+            for index, upstream in enumerate(node.inputs):
+                walk(
+                    upstream,
+                    node.operator.input_sync_time(sync, index, upstream.descriptor),
+                )
+
+        walk(self._plan.sink, start)
+        return ready
+
+    # -- results -----------------------------------------------------------
+
+    def result(self) -> StreamResult:
+        """Everything the session has emitted so far, in stream order."""
+        if self._collected_times:
+            times = np.concatenate(self._collected_times)
+            values = np.concatenate(self._collected_values)
+            durations = np.concatenate(self._collected_durations)
+        else:
+            times = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=np.float64)
+            durations = np.empty(0, dtype=np.int64)
+        stats = ExecutionStats(
+            output_windows=self._windows_run,
+            windows_computed=sum(node.windows_computed for node in self._nodes),
+            windows_skipped=(
+                max(0, eager_window_count(self._plan) - self._windows_run)
+                if self._targeted
+                else 0
+            ),
+            events_emitted=int(times.size),
+            events_ingested=sum(node.source.event_count() for node in self._source_nodes),
+            preallocated_bytes=self._plan.memory_plan.total_bytes,
+            elapsed_seconds=sum(t.elapsed_seconds for t in self._ticks),
+            targeted=self._targeted,
+            per_node_windows={node.name: node.windows_computed for node in self._nodes},
+        )
+        return StreamResult(times, values, durations, stats=stats)
+
+    def close(self) -> None:
+        """Release the plan so one-shot runs on the compiled query work again."""
+        if not self._closed:
+            self._closed = True
+            self._compiled.detach_session(self)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("session is closed")
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self, path: str | Path | None = None) -> dict:
+        """Snapshot the session so it can resume after a restart or crash.
+
+        The checkpoint captures the plan geometry (for compatibility
+        checks), every operator node's carry state (by topological index),
+        the replayed sources' watermarks, the emission frontier and the
+        events emitted so far.  It contains only NumPy arrays and plain
+        Python containers, so it pickles cleanly; pass *path* to also write
+        it to disk.  Restore by opening a new session over a freshly
+        compiled copy of the same query with ``checkpoint=``.
+        """
+        self._require_open()
+        result = self.result()
+        state = {
+            "format": CHECKPOINT_FORMAT,
+            "targeted": self._targeted,
+            "backend": self._backend_name,
+            "window_size": self._plan.window_size,
+            "sink_dimension": self._plan.sink.dimension,
+            "last_start": self._last_start,
+            "windows_run": self._windows_run,
+            "finished": self._finished,
+            "watermarks": {
+                node.name: node.source.watermark for node in self._replay_nodes
+            },
+            "operator_states": [
+                {
+                    "index": index,
+                    "operator": node.operator.name,
+                    "state": node.operator.snapshot_state(node.state),
+                }
+                for index, node in enumerate(self._operator_nodes)
+            ],
+            "emitted": {
+                "times": result.times,
+                "values": result.values,
+                "durations": result.durations,
+            },
+        }
+        if path is not None:
+            with open(path, "wb") as handle:
+                pickle.dump(state, handle)
+        return state
+
+    def _apply_checkpoint(self, checkpoint: dict | str | Path) -> None:
+        if not isinstance(checkpoint, dict):
+            with open(checkpoint, "rb") as handle:
+                checkpoint = pickle.load(handle)
+        if checkpoint.get("format") != CHECKPOINT_FORMAT:
+            raise ExecutionError(
+                f"unrecognised checkpoint format {checkpoint.get('format')!r}; "
+                f"expected {CHECKPOINT_FORMAT!r}"
+            )
+        for field, actual in (
+            ("targeted", self._targeted),
+            ("backend", self._backend_name),
+            ("window_size", self._plan.window_size),
+            ("sink_dimension", self._plan.sink.dimension),
+        ):
+            if checkpoint[field] != actual:
+                raise ExecutionError(
+                    f"checkpoint was taken with {field}={checkpoint[field]!r} but "
+                    f"this session has {field}={actual!r}; recompile with the "
+                    f"original configuration to resume"
+                )
+        saved_states = checkpoint["operator_states"]
+        if len(saved_states) != len(self._operator_nodes):
+            raise ExecutionError(
+                f"checkpoint holds {len(saved_states)} operator states but the "
+                f"plan has {len(self._operator_nodes)} operator nodes; was the "
+                f"query changed since the checkpoint?"
+            )
+        for saved, node in zip(saved_states, self._operator_nodes):
+            if saved["operator"] != node.operator.name:
+                raise ExecutionError(
+                    f"checkpoint state {saved['index']} belongs to operator "
+                    f"{saved['operator']!r} but the plan has {node.operator.name!r} "
+                    f"at that position; was the query changed since the checkpoint?"
+                )
+            node.state = node.operator.restore_state(saved["state"])
+        watermarks = checkpoint["watermarks"]
+        for node in self._replay_nodes:
+            saved_watermark = watermarks.get(node.name)
+            if saved_watermark is not None and saved_watermark > node.source.watermark:
+                node.source.advance(saved_watermark)
+        self._last_start = checkpoint["last_start"]
+        self._windows_run = checkpoint["windows_run"]
+        self._finished = checkpoint["finished"]
+        emitted = checkpoint["emitted"]
+        if emitted["times"].size:
+            self._collected_times = [np.asarray(emitted["times"], dtype=np.int64)]
+            self._collected_values = [np.asarray(emitted["values"], dtype=np.float64)]
+            self._collected_durations = [np.asarray(emitted["durations"], dtype=np.int64)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StreamingSession {self._backend_name} frontier={self._last_start} "
+            f"ticks={len(self._ticks)} windows={self._windows_run}>"
+        )

@@ -45,8 +45,20 @@ class StreamSource:
         raise NotImplementedError
 
 
+#: Duplicate-timestamp policies accepted by :class:`ArraySource`.
+DEDUPE_POLICIES = ("first", "last")
+
+
 class ArraySource(StreamSource):
-    """A source backed by in-memory NumPy arrays of timestamps and values."""
+    """A source backed by in-memory NumPy arrays of timestamps and values.
+
+    Timestamps are sorted if needed.  Duplicate timestamps are rejected by
+    default (two events cannot share one grid slot of a periodic stream —
+    silently keeping both would corrupt FWindow fills downstream); pass
+    ``dedupe="last"`` (or ``"first"``) to opt into keeping one event per
+    slot instead.  ``validate=False`` disables duplicate, grid-alignment and
+    duration checks entirely.
+    """
 
     def __init__(
         self,
@@ -56,7 +68,12 @@ class ArraySource(StreamSource):
         offset: int | None = None,
         durations: np.ndarray | None = None,
         validate: bool = True,
+        dedupe: str | None = None,
     ) -> None:
+        if dedupe is not None and dedupe not in DEDUPE_POLICIES:
+            raise StreamDefinitionError(
+                f"unknown dedupe policy {dedupe!r}; expected one of {DEDUPE_POLICIES}"
+            )
         times = np.asarray(times, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)
         if times.shape != values.shape:
@@ -64,12 +81,39 @@ class ArraySource(StreamSource):
                 f"times and values must have the same shape, got {times.shape} "
                 f"and {values.shape}"
             )
+        if durations is not None:
+            durations = np.asarray(durations, dtype=np.int64)
+            if durations.shape != times.shape:
+                raise StreamDefinitionError(
+                    f"durations must have the same shape as times, got "
+                    f"{durations.shape} and {times.shape}"
+                )
         if times.size and np.any(np.diff(times) <= 0):
             order = np.argsort(times, kind="stable")
             times = times[order]
             values = values[order]
             if durations is not None:
-                durations = np.asarray(durations, dtype=np.int64)[order]
+                durations = durations[order]
+        duplicated = np.flatnonzero(np.diff(times) == 0) if times.size else np.empty(0, int)
+        if duplicated.size:
+            if dedupe is not None:
+                # Stable sort preserved input order within equal timestamps,
+                # so "first"/"last" refer to the order events were supplied.
+                if dedupe == "last":
+                    keep = np.append(np.diff(times) != 0, True)
+                else:
+                    keep = np.append(True, np.diff(times) != 0)
+                times = times[keep]
+                values = values[keep]
+                if durations is not None:
+                    durations = durations[keep]
+            elif validate:
+                bad = int(times[duplicated[0]])
+                raise StreamDefinitionError(
+                    f"duplicate timestamp {bad}: two events cannot share one grid "
+                    f"slot of a periodic stream; pass dedupe='last' (or 'first') "
+                    f"to keep one event per slot"
+                )
         if offset is None:
             offset = int(times[0] % period) if times.size else 0
         if validate and times.size:
@@ -79,6 +123,12 @@ class ArraySource(StreamSource):
                 raise StreamDefinitionError(
                     f"timestamp {bad} does not lie on the periodic grid "
                     f"(offset={offset}, period={period})"
+                )
+            if durations is not None and np.any(durations <= 0):
+                index = int(np.flatnonzero(durations <= 0)[0])
+                raise StreamDefinitionError(
+                    f"duration {int(durations[index])} of the event at timestamp "
+                    f"{int(times[index])} must be positive"
                 )
         self.descriptor = StreamDescriptor(offset=offset, period=period)
         self._times = times
@@ -130,27 +180,70 @@ class CsvSource(StreamSource):
     waveform data is stored on persistent disks in CSV form (Section 8.3).
     The file is loaded eagerly into memory; for the dataset sizes used in
     the reproduction this is both simpler and faster than chunked reads.
+
+    Timestamps may be written as integers (``10``) or integral floats
+    (``"10.0"``, a common artifact of exporting from pandas/Excel); anything
+    else raises :class:`~repro.errors.StreamDefinitionError` naming the
+    offending row.  Rows whose timestamp or value cell is blank are skipped
+    (they represent missing samples, i.e. gaps) and counted in
+    :attr:`skipped_rows`.
     """
 
-    def __init__(self, path: str | Path, period: int, has_header: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        period: int,
+        has_header: bool = True,
+        validate: bool = True,
+        dedupe: str | None = None,
+    ) -> None:
         self.path = Path(path)
         times: list[int] = []
         values: list[float] = []
+        #: Number of data rows skipped because a timestamp/value cell was blank.
+        self.skipped_rows = 0
         with open(self.path, newline="") as handle:
             reader = csv.reader(handle)
             if has_header:
                 next(reader, None)
-            for row in reader:
-                if not row:
+            for line_number, row in enumerate(reader, start=2 if has_header else 1):
+                if not row or all(not cell.strip() for cell in row):
                     continue
-                times.append(int(row[0]))
-                values.append(float(row[1]))
+                raw_time = row[0].strip()
+                raw_value = row[1].strip() if len(row) > 1 else ""
+                if not raw_time or not raw_value:
+                    self.skipped_rows += 1
+                    continue
+                times.append(self._parse_timestamp(raw_time, line_number))
+                try:
+                    values.append(float(raw_value))
+                except ValueError:
+                    raise StreamDefinitionError(
+                        f"{self.path}, row {line_number}: value {raw_value!r} is "
+                        f"not a number"
+                    ) from None
         self._delegate = ArraySource(
             np.asarray(times, dtype=np.int64),
             np.asarray(values, dtype=np.float64),
             period=period,
+            validate=validate,
+            dedupe=dedupe,
         )
         self.descriptor = self._delegate.descriptor
+
+    def _parse_timestamp(self, raw: str, line_number: int) -> int:
+        try:
+            parsed = float(raw)
+        except ValueError:
+            raise StreamDefinitionError(
+                f"{self.path}, row {line_number}: timestamp {raw!r} is not a number"
+            ) from None
+        if not parsed.is_integer():
+            raise StreamDefinitionError(
+                f"{self.path}, row {line_number}: timestamp {raw!r} is not an "
+                f"integer tick (periodic streams use integer timestamps)"
+            )
+        return int(parsed)
 
     def coverage(self) -> IntervalSet:
         return self._delegate.coverage()
@@ -192,8 +285,8 @@ class ReplaySource(StreamSource):
         self._watermark = new_watermark
 
     def advance_to_end(self) -> None:
-        """Expose the entire underlying source."""
-        self._watermark = self._inner.coverage().span()[1]
+        """Expose the entire underlying source (never moves the watermark back)."""
+        self._watermark = max(self._watermark, self._inner.coverage().span()[1])
 
     def coverage(self) -> IntervalSet:
         return self._inner.coverage().clip(*(self._inner.coverage().span()[0], self._watermark))

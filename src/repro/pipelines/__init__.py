@@ -10,6 +10,7 @@ from repro.pipelines.e2e import (
     run_numlib_e2e,
     run_trill_e2e,
 )
+from repro.pipelines.live import LiveReplayReport, replay_e2e_live
 from repro.pipelines.linezero import (
     evaluate_linezero_accuracy,
     linezero_query,
@@ -25,6 +26,8 @@ __all__ = [
     "run_trill_e2e",
     "run_numlib_e2e",
     "E2E_ENGINES",
+    "LiveReplayReport",
+    "replay_e2e_live",
     "linezero_query",
     "run_lifestream_linezero",
     "run_trill_linezero",

@@ -1,7 +1,6 @@
 """Unit tests for the compiler passes: locality tracing, static memory
 allocation and lineage/coverage propagation."""
 
-import numpy as np
 import pytest
 
 from repro.core.compiler import (

@@ -9,8 +9,6 @@ from repro.core.runtime.result import StreamResult
 from repro.core.sources import ArraySource
 from repro.errors import ExecutionError
 
-from tests.conftest import make_source
-
 
 def e2e_like_query() -> Query:
     ecg = Query.source("ecg", frequency_hz=500).select(lambda v: v * 2)

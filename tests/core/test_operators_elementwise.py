@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.engine import LifeStreamEngine
 from repro.core.query import Query
 from repro.errors import QueryConstructionError
 

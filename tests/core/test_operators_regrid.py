@@ -6,8 +6,6 @@ import pytest
 from repro.core.query import Query
 from repro.errors import QueryConstructionError
 
-from tests.conftest import make_source
-
 
 class TestAlterPeriodUpsample:
     def test_hold_upsampling_repeats_values(self, engine, ramp_125hz):

@@ -8,8 +8,6 @@ from repro.data.artifacts import inject_line_zero, line_zero_template
 from repro.data.physio import generate_abp
 from repro.errors import QueryConstructionError
 
-from tests.conftest import make_source
-
 
 class TestTransform:
     def test_values_only_transform(self, engine, ramp_500hz):

@@ -1,0 +1,383 @@
+"""Streaming-session suite: incremental parity, checkpointing, lifecycle.
+
+The core guarantee of :class:`~repro.core.runtime.session.StreamingSession`
+is that tick-by-tick execution over an advancing watermark emits exactly
+the events a one-shot batch run over the same final coverage emits —
+bit-identical times, values and durations — including when a session is
+checkpointed mid-stream and restored onto a freshly compiled plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import LifeStreamEngine
+from repro.core.query import Query
+from repro.core.runtime import BatchedBackend, MultiprocessBackend, SerialBackend
+from repro.core.sources import ArraySource, ReplaySource
+from repro.errors import ExecutionError
+
+
+def _signal(n=6000, period=2, seed=3):
+    rng = np.random.default_rng(seed)
+    times = np.arange(n, dtype=np.int64) * period
+    keep = np.ones(n, dtype=bool)
+    for start in rng.integers(0, n - 500, size=3):
+        keep[start : start + int(rng.integers(100, 400))] = False
+    values = np.sin(np.arange(n) * 0.01) * 10
+    return times[keep], values[keep]
+
+
+def _source(period=2, seed=3):
+    times, values = _signal(period=period, seed=seed)
+    return ArraySource(times, values, period=period)
+
+
+#: Queries covering every kind of cross-tick carry state: element-wise
+#: chains (fusion), Shift FIFOs, sliding-aggregate tails, join carries over
+#: multicast fan-out, chop carries, and a non-batch-safe interpolation (the
+#: batched backend's serial session fallback).
+SESSION_QUERIES = {
+    "elementwise": lambda: (
+        Query.source("s", frequency_hz=500)
+        .select(lambda v: v * 2 + 1)
+        .where(lambda v: v > -5)
+    ),
+    "shift-chain": lambda: (
+        Query.source("s", frequency_hz=500)
+        .select(lambda v: v + 0.5)
+        .shift(1000)
+        .where(lambda v: np.abs(v) < 9)
+    ),
+    "sliding": lambda: (
+        Query.source("s", frequency_hz=500).sliding_window(200, 100).max()
+    ),
+    "multicast-join": lambda: Query.source("s", frequency_hz=500).multicast(
+        lambda s: s.select(lambda v: v)
+        .join(s.tumbling_window(100).mean(), lambda v, m: v - m)
+    ),
+    "chop": lambda: (
+        Query.source("s", frequency_hz=500).tumbling_window(500).mean().chop(10)
+    ),
+    "resample-interpolate": lambda: (
+        Query.source("s", frequency_hz=500).resample(period=1, mode="interpolate")
+    ),
+}
+
+SESSION_BACKENDS = {
+    "serial": lambda: None,
+    "batched-4": lambda: BatchedBackend(batch_windows=4),
+}
+
+#: Irregular watermark schedule: > 3 advances, not window-aligned, with a
+#: no-new-data repeat in the middle.
+WATERMARKS = (777, 2500, 2500, 4211, 7000, 9999, 11000)
+
+
+def _assert_identical(reference, candidate, label=""):
+    np.testing.assert_array_equal(reference.times, candidate.times, err_msg=label)
+    np.testing.assert_array_equal(reference.values, candidate.values, err_msg=label)
+    np.testing.assert_array_equal(reference.durations, candidate.durations, err_msg=label)
+
+
+def _run_session(query, targeted, backend, watermarks=WATERMARKS, checkpoint_at=None,
+                 checkpoint_path=None):
+    """Drive a session over *watermarks*; optionally checkpoint/restore mid-way."""
+    engine = LifeStreamEngine(window_size=1000, backend=backend)
+    session = engine.open_session(
+        query(), {"s": ReplaySource(_source())}, targeted=targeted
+    )
+    for index, watermark in enumerate(watermarks):
+        session.advance(watermark)
+        if checkpoint_at is not None and index == checkpoint_at:
+            session.checkpoint(checkpoint_path)
+            session.close()
+            # Simulate a crash: fresh compile, fresh replay source, restore.
+            session = engine.open_session(
+                query(),
+                {"s": ReplaySource(_source())},
+                targeted=targeted,
+                checkpoint=checkpoint_path,
+            )
+    session.finish()
+    result = session.result()
+    session.close()
+    return result, session
+
+
+class TestSessionParity:
+    @pytest.mark.parametrize("query_name", sorted(SESSION_QUERIES))
+    @pytest.mark.parametrize("backend_name", sorted(SESSION_BACKENDS))
+    @pytest.mark.parametrize("targeted", [True, False])
+    def test_incremental_matches_one_shot(self, query_name, backend_name, targeted):
+        reference = LifeStreamEngine(window_size=1000).run(
+            SESSION_QUERIES[query_name](), {"s": _source()}, targeted=targeted
+        )
+        result, _ = _run_session(
+            SESSION_QUERIES[query_name], targeted, SESSION_BACKENDS[backend_name]()
+        )
+        _assert_identical(
+            reference, result, f"{query_name} on {backend_name} targeted={targeted}"
+        )
+
+    def test_single_big_advance_matches_many_small_ones(self):
+        query = SESSION_QUERIES["multicast-join"]
+        coarse, _ = _run_session(query, True, None, watermarks=(30000,))
+        fine, _ = _run_session(query, True, None, watermarks=tuple(range(500, 30000, 500)))
+        _assert_identical(coarse, fine)
+
+    def test_windows_straddling_watermark_are_deferred(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = engine.open_session(
+            SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+        )
+        tick = session.advance(1500)  # half of the second window visible
+        assert tick.windows_run == 1
+        assert tick.windows_deferred >= 1
+        assert session.frontier == 0
+        tick = session.advance(2000)
+        assert tick.windows_run == 1
+        assert session.frontier == 1000
+        session.close()
+
+    def test_tick_instrumentation(self):
+        result, session = _run_session(SESSION_QUERIES["sliding"], True, None)
+        ticks = session.ticks
+        assert len(ticks) == len(WATERMARKS) + 1  # one per advance + finish
+        assert [t.index for t in ticks] == list(range(1, len(ticks) + 1))
+        assert ticks[-1].cumulative_events == len(result)
+        assert ticks[-1].cumulative_windows == result.stats.output_windows
+        assert all(t.plan_seconds >= 0 and t.execute_seconds >= 0 for t in ticks)
+        assert all(t.backend == "serial" for t in ticks)
+        # The no-new-data repeat advance must run nothing.
+        assert ticks[2].windows_run == 0
+
+    def test_static_sources_drain_on_first_poll(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = engine.open_session(SESSION_QUERIES["elementwise"](), {"s": _source()})
+        session.poll()
+        session.finish()
+        reference = LifeStreamEngine(window_size=1000).run(
+            SESSION_QUERIES["elementwise"](), {"s": _source()}
+        )
+        _assert_identical(reference, session.result())
+        session.close()
+
+
+class TestTwoSourceSessions:
+    """Joins over two replayed streams whose watermarks advance independently."""
+
+    @staticmethod
+    def _two_source_query():
+        left = Query.source("left", frequency_hz=500).select(lambda v: v * 2)
+        right = Query.source("right", period=8).tumbling_window(400).mean()
+        return left.join(right, lambda lv, rv: lv - rv)
+
+    def _sources(self, replay):
+        left_times, left_values = _signal(period=2, seed=11)
+        right_times, right_values = _signal(n=1500, period=8, seed=12)
+        left = ArraySource(left_times, left_values, period=2)
+        right = ArraySource(right_times, right_values, period=8)
+        if replay:
+            return {"left": ReplaySource(left), "right": ReplaySource(right)}
+        return {"left": left, "right": right}
+
+    def test_uneven_watermarks_match_one_shot(self):
+        reference = LifeStreamEngine(window_size=1000).run(
+            self._two_source_query(), self._sources(replay=False)
+        )
+        engine = LifeStreamEngine(window_size=1000)
+        sources = self._sources(replay=True)
+        session = engine.open_session(self._two_source_query(), sources)
+        # The two ingestion clocks drift apart and leapfrog each other; the
+        # session may only emit windows both streams fully cover.
+        schedule = [(1000, 300), (2500, 2600), (2600, 5000), (7000, 7000), (9000, 12000)]
+        for left_watermark, right_watermark in schedule:
+            sources["left"].advance(left_watermark)
+            sources["right"].advance(right_watermark)
+            tick = session.poll()
+            lagging = min(left_watermark, right_watermark)
+            assert tick.watermark == lagging
+            if session.frontier is not None:
+                # No emitted window may reach past the lagging stream's clock.
+                assert session.frontier + 1000 <= lagging
+        session.finish()
+        _assert_identical(reference, session.result(), "uneven two-source watermarks")
+        session.close()
+
+
+class TestSessionCheckpoint:
+    @pytest.mark.parametrize("query_name", sorted(SESSION_QUERIES))
+    def test_checkpoint_restore_round_trip(self, query_name, tmp_path):
+        """Kill/checkpoint/restore mid-stream reproduces the one-shot output."""
+        reference = LifeStreamEngine(window_size=1000).run(
+            SESSION_QUERIES[query_name](), {"s": _source()}
+        )
+        result, _ = _run_session(
+            SESSION_QUERIES[query_name],
+            True,
+            None,
+            checkpoint_at=3,
+            checkpoint_path=tmp_path / "session.ckpt",
+        )
+        _assert_identical(reference, result, f"{query_name} checkpoint round trip")
+
+    def test_checkpoint_restore_batched(self, tmp_path):
+        reference = LifeStreamEngine(window_size=1000).run(
+            SESSION_QUERIES["shift-chain"](), {"s": _source()}
+        )
+        result, _ = _run_session(
+            SESSION_QUERIES["shift-chain"],
+            True,
+            BatchedBackend(batch_windows=4),
+            checkpoint_at=3,
+            checkpoint_path=tmp_path / "session.ckpt",
+        )
+        _assert_identical(reference, result, "batched checkpoint round trip")
+
+    def test_checkpoint_dict_round_trip_without_disk(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = engine.open_session(
+            SESSION_QUERIES["sliding"](), {"s": ReplaySource(_source())}
+        )
+        session.advance(5000)
+        state = session.checkpoint()
+        session.close()
+        restored = engine.open_session(
+            SESSION_QUERIES["sliding"](),
+            {"s": ReplaySource(_source())},
+            checkpoint=state,
+        )
+        restored.finish()
+        reference = LifeStreamEngine(window_size=1000).run(
+            SESSION_QUERIES["sliding"](), {"s": _source()}
+        )
+        _assert_identical(reference, restored.result())
+        restored.close()
+
+    def test_mismatched_geometry_rejected(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = engine.open_session(
+            SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+        )
+        session.advance(3000)
+        state = session.checkpoint()
+        session.close()
+        other = LifeStreamEngine(window_size=2000)
+        with pytest.raises(ExecutionError, match="window_size"):
+            other.open_session(
+                SESSION_QUERIES["elementwise"](),
+                {"s": ReplaySource(_source())},
+                checkpoint=state,
+            )
+
+    def test_mismatched_query_rejected(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = engine.open_session(
+            SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+        )
+        session.advance(3000)
+        state = session.checkpoint()
+        session.close()
+        with pytest.raises(ExecutionError, match="operator"):
+            engine.open_session(
+                SESSION_QUERIES["sliding"](),
+                {"s": ReplaySource(_source())},
+                checkpoint=state,
+            )
+
+    def test_unrecognised_format_rejected(self):
+        engine = LifeStreamEngine(window_size=1000)
+        with pytest.raises(ExecutionError, match="format"):
+            engine.open_session(
+                SESSION_QUERIES["elementwise"](),
+                {"s": ReplaySource(_source())},
+                checkpoint={"format": "something-else"},
+            )
+
+
+class TestSessionLifecycle:
+    def test_one_shot_run_rejected_while_session_open(self):
+        engine = LifeStreamEngine(window_size=1000)
+        compiled = engine.compile(SESSION_QUERIES["elementwise"](), {"s": _source()})
+        session = compiled.open_session()
+        with pytest.raises(ExecutionError, match="open StreamingSession"):
+            compiled.run()
+        session.close()
+        assert len(compiled.run()) > 0
+
+    def test_only_one_session_per_compiled_query(self):
+        engine = LifeStreamEngine(window_size=1000)
+        compiled = engine.compile(SESSION_QUERIES["elementwise"](), {"s": _source()})
+        session = compiled.open_session()
+        with pytest.raises(ExecutionError, match="already has"):
+            compiled.open_session()
+        session.close()
+
+    def test_failed_second_open_does_not_corrupt_live_session(self):
+        # Regression: the rejected open used to reset the shared plan's
+        # operator carries before the exclusivity check fired.
+        reference = LifeStreamEngine(window_size=1000).run(
+            SESSION_QUERIES["shift-chain"](), {"s": _source()}
+        )
+        engine = LifeStreamEngine(window_size=1000)
+        compiled = engine.compile(
+            SESSION_QUERIES["shift-chain"](), {"s": ReplaySource(_source())}
+        )
+        session = compiled.open_session()
+        session.advance(5000)
+        with pytest.raises(ExecutionError, match="already has"):
+            compiled.open_session()
+        session.finish()
+        _assert_identical(reference, session.result(), "after rejected second open")
+        session.close()
+
+    def test_failed_checkpoint_restore_releases_the_plan(self):
+        engine = LifeStreamEngine(window_size=1000)
+        compiled = engine.compile(
+            SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+        )
+        with pytest.raises(ExecutionError, match="format"):
+            compiled.open_session(checkpoint={"format": "bogus"})
+        # The failed constructor must not leave a dangling owner behind.
+        session = compiled.open_session()
+        session.finish()
+        session.close()
+
+    def test_advance_after_finish_rejected(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = engine.open_session(
+            SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+        )
+        session.finish()
+        with pytest.raises(ExecutionError, match="finished"):
+            session.advance(99999)
+        # finish is idempotent and runs nothing further.
+        assert session.finish().windows_run == 0
+        session.close()
+
+    def test_closed_session_rejects_everything(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = engine.open_session(
+            SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+        )
+        session.close()
+        for call in (session.poll, session.finish, session.checkpoint,
+                     lambda: session.advance(1000)):
+            with pytest.raises(ExecutionError, match="closed"):
+                call()
+
+    def test_multiprocess_backend_rejected(self):
+        engine = LifeStreamEngine(window_size=1000, backend=MultiprocessBackend(n_workers=2))
+        with pytest.raises(NotImplementedError, match="multiprocess"):
+            engine.open_session(
+                SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+            )
+
+    def test_serial_backend_object_accepted(self):
+        engine = LifeStreamEngine(window_size=1000, backend=SerialBackend())
+        session = engine.open_session(
+            SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+        )
+        assert session.backend_name == "serial"
+        session.finish()
+        session.close()

@@ -55,6 +55,77 @@ class TestArraySource:
         source = ArraySource(np.arange(0, 20, 2), np.zeros(10), period=2)
         assert source.event_count() == 10
 
+    def test_duplicate_timestamps_rejected(self):
+        # Regression: duplicates used to be silently kept, leaving two events
+        # fighting over one FWindow grid slot.
+        with pytest.raises(StreamDefinitionError, match="duplicate timestamp 10"):
+            ArraySource(np.array([0, 10, 10, 20]), np.arange(4.0), period=10)
+
+    def test_duplicate_timestamps_dedupe_last(self):
+        source = ArraySource(
+            np.array([0, 10, 10, 20]), np.array([1.0, 2.0, 3.0, 4.0]),
+            period=10, dedupe="last",
+        )
+        np.testing.assert_array_equal(source.times, [0, 10, 20])
+        np.testing.assert_array_equal(source.values, [1.0, 3.0, 4.0])
+
+    def test_duplicate_timestamps_dedupe_first(self):
+        # Stable sort: "first"/"last" refer to the order events were supplied,
+        # even when the input is unsorted.
+        source = ArraySource(
+            np.array([20, 10, 10, 0]), np.array([1.0, 2.0, 3.0, 4.0]),
+            period=10, dedupe="first",
+        )
+        np.testing.assert_array_equal(source.times, [0, 10, 20])
+        np.testing.assert_array_equal(source.values, [4.0, 2.0, 1.0])
+
+    def test_duplicate_timestamps_kept_without_validation(self):
+        source = ArraySource(
+            np.array([0, 10, 10, 20]), np.arange(4.0), period=10, validate=False
+        )
+        assert source.event_count() == 4
+
+    def test_unknown_dedupe_policy_rejected(self):
+        with pytest.raises(StreamDefinitionError, match="dedupe"):
+            ArraySource(np.array([0, 10]), np.zeros(2), period=10, dedupe="mean")
+
+    def test_dedupe_applies_to_durations(self):
+        source = ArraySource(
+            np.array([0, 10, 10]), np.array([1.0, 2.0, 3.0]), period=10,
+            durations=np.array([10, 5, 7]), dedupe="last",
+        )
+        times, _, durations = source.read(0, 100)
+        np.testing.assert_array_equal(times, [0, 10])
+        np.testing.assert_array_equal(durations, [10, 7])
+
+    def test_nonpositive_durations_rejected(self):
+        # Regression: durations=[10, -5] used to be silently swallowed and
+        # produced nonsense coverage.
+        with pytest.raises(StreamDefinitionError, match="duration -5.*timestamp 10"):
+            ArraySource(
+                np.array([0, 10]), np.zeros(2), period=10,
+                durations=np.array([10, -5]),
+            )
+        with pytest.raises(StreamDefinitionError, match="duration 0"):
+            ArraySource(
+                np.array([0, 10]), np.zeros(2), period=10,
+                durations=np.array([0, 10]),
+            )
+
+    def test_nonpositive_durations_allowed_without_validation(self):
+        source = ArraySource(
+            np.array([0, 10]), np.zeros(2), period=10,
+            durations=np.array([10, -5]), validate=False,
+        )
+        assert source.event_count() == 2
+
+    def test_durations_shape_mismatch_rejected(self):
+        with pytest.raises(StreamDefinitionError, match="durations"):
+            ArraySource(
+                np.array([0, 10]), np.zeros(2), period=10,
+                durations=np.array([10, 10, 10]),
+            )
+
     def test_from_frequency(self):
         source = ArraySource.from_frequency(np.array([0, 2]), np.zeros(2), frequency_hz=500)
         assert source.descriptor.period == 2
@@ -76,6 +147,60 @@ class TestCsvSource:
         path = write_csv(tmp_path / "gappy.csv", times, np.zeros(5))
         source = CsvSource(path, period=2)
         assert source.coverage() == IntervalSet([(0, 6), (50, 54)])
+
+    @staticmethod
+    def _write(tmp_path, text, name="signal.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_float_formatted_timestamps_accepted(self, tmp_path):
+        # Regression: "10.0" (a pandas/Excel export artifact) used to crash
+        # with a bare ValueError from int().
+        path = self._write(tmp_path, "timestamp,value\n0.0,1.5\n10.0,2.5\n")
+        source = CsvSource(path, period=10)
+        times, values, _ = source.read(0, 100)
+        np.testing.assert_array_equal(times, [0, 10])
+        np.testing.assert_allclose(values, [1.5, 2.5])
+
+    def test_non_integral_timestamp_names_offending_row(self, tmp_path):
+        path = self._write(tmp_path, "timestamp,value\n0,1.0\n10.5,2.0\n")
+        with pytest.raises(StreamDefinitionError, match=r"row 3.*'10\.5'"):
+            CsvSource(path, period=10)
+
+    def test_garbage_timestamp_names_offending_row(self, tmp_path):
+        path = self._write(tmp_path, "timestamp,value\noops,1.0\n")
+        with pytest.raises(StreamDefinitionError, match="row 2.*'oops'"):
+            CsvSource(path, period=10)
+
+    def test_garbage_value_names_offending_row(self, tmp_path):
+        path = self._write(tmp_path, "timestamp,value\n0,1.0\n10,n/a\n")
+        with pytest.raises(StreamDefinitionError, match="row 3.*'n/a'"):
+            CsvSource(path, period=10)
+
+    def test_blank_value_cells_skipped_and_counted(self, tmp_path):
+        # Regression: a blank value cell used to crash with float("").
+        path = self._write(
+            tmp_path, "timestamp,value\n0,1.0\n10,\n20,3.0\n30\n,4.0\n"
+        )
+        source = CsvSource(path, period=10)
+        assert source.skipped_rows == 3
+        times, values, _ = source.read(0, 100)
+        np.testing.assert_array_equal(times, [0, 20])
+        np.testing.assert_allclose(values, [1.0, 3.0])
+
+    def test_fully_blank_rows_ignored(self, tmp_path):
+        path = self._write(tmp_path, "timestamp,value\n0,1.0\n,\n\n10,2.0\n")
+        source = CsvSource(path, period=10)
+        assert source.event_count() == 2
+        assert source.skipped_rows == 0
+
+    def test_dedupe_passthrough(self, tmp_path):
+        path = self._write(tmp_path, "timestamp,value\n0,1.0\n10,2.0\n10,3.0\n")
+        with pytest.raises(StreamDefinitionError, match="duplicate timestamp"):
+            CsvSource(path, period=10)
+        source = CsvSource(path, period=10, dedupe="last")
+        np.testing.assert_allclose(source.read(0, 100)[1], [1.0, 3.0])
 
 
 class TestReplaySource:

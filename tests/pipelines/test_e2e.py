@@ -1,6 +1,5 @@
 """Tests for the Figure 3 end-to-end pipeline on all three engines."""
 
-import numpy as np
 import pytest
 
 from repro.data.gaps import inject_burst_gaps

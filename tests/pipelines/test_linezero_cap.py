@@ -1,6 +1,5 @@
 """Tests for the LineZero artifact-detection and CAP preprocessing pipelines."""
 
-import numpy as np
 import pytest
 
 from repro.data.artifacts import inject_line_zero
