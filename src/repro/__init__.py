@@ -35,9 +35,9 @@ from repro.core import (
     ReplaySource,
     SerialBackend,
     StreamDescriptor,
+    StreamingSession,
     StreamResult,
     StreamSource,
-    StreamingSession,
     TickStats,
     period_from_hz,
 )
@@ -50,6 +50,7 @@ from repro.errors import (
     StreamDefinitionError,
     TrillOutOfMemoryError,
 )
+from repro.serve import PlanCache, ShardedStreamingService, StreamingService
 
 __version__ = "1.0.0"
 
@@ -69,6 +70,9 @@ __all__ = [
     "SerialBackend",
     "BatchedBackend",
     "MultiprocessBackend",
+    "StreamingService",
+    "ShardedStreamingService",
+    "PlanCache",
     "ArraySource",
     "CsvSource",
     "ReplaySource",

@@ -141,6 +141,98 @@ class CompiledPlan:
     tracer: object = None
     optimization_level: int = MAX_OPTIMIZATION_LEVEL
 
+    def instantiate(
+        self,
+        sources: dict[str, StreamSource] | None = None,
+        strict: bool = True,
+    ) -> "CompiledPlan":
+        """Clone this plan's runtime state, sharing the immutable pass output.
+
+        Multi-tenant serving runs the *same* compiled query over many
+        independent client streams.  Recompiling per client repeats work
+        whose result cannot change — spec normalization, locality tracing,
+        fusion — because it depends only on the query shape, the window size
+        and the optimization level.  ``instantiate`` therefore rebuilds only
+        the per-client state: a fresh graph of plan nodes (reusing the
+        template's operator objects, which are pure descriptions), freshly
+        allocated FWindow buffers of the same traced dimensions, and fresh
+        operator carry state.
+
+        ``sources`` rebinds source nodes by name to a client's own streams
+        (every node with a matching name, including repeated references to
+        one source name from separate spec nodes); unnamed nodes keep the
+        template's source.  A replacement source must have the template
+        descriptor (same offset and period) — the traced dimensions are only
+        valid on that grid.  Coverage is re-propagated over the clone, since
+        each client's data has its own gaps.  With ``strict`` (the default)
+        replacement names that match no source node raise; ``strict=False``
+        ignores them, matching ``build_plan``'s tolerance of extra entries
+        in a shared sources dict.
+        """
+        from repro.core.fwindow import FWindow
+
+        replacements = dict(sources or {})
+        rebound: set[str] = set()
+        memo: dict[int, PlanNode] = {}
+
+        def clone(node: PlanNode) -> PlanNode:
+            existing = memo.get(id(node))
+            if existing is not None:
+                return existing
+            if isinstance(node, SourceNode):
+                source = replacements.get(node.name, node.source)
+                if node.name in replacements:
+                    rebound.add(node.name)
+                if source.descriptor != node.source.descriptor:
+                    raise CompilationError(
+                        f"cannot instantiate plan: replacement source {node.name!r} "
+                        f"has descriptor {source.descriptor} but the plan was "
+                        f"compiled for {node.source.descriptor}; recompile for "
+                        f"streams on a different grid"
+                    )
+                fresh: PlanNode = SourceNode(node.name, source)
+            else:
+                fresh = OperatorNode(
+                    node.name, node.operator, [clone(child) for child in node.inputs]
+                )
+                fresh.state = node.operator.make_state()
+            fresh.dimension = node.dimension
+            if node.fwindow is not None:
+                fresh.fwindow = FWindow(
+                    fresh.descriptor, node.dimension, name=node.name, tracer=self.tracer
+                )
+            memo[id(node)] = fresh
+            return fresh
+
+        sink = clone(self.sink)
+        unmatched = set(replacements) - rebound
+        if unmatched and strict:
+            raise CompilationError(
+                f"cannot instantiate plan: no source node named "
+                f"{sorted(unmatched)} in the plan (available: "
+                f"{sorted(n.name for n in sink.iter_nodes() if isinstance(n, SourceNode))})"
+            )
+        coverage = propagate_coverage(sink)
+        bound = {
+            node.name: node.source
+            for node in sink.iter_nodes()
+            if isinstance(node, SourceNode)
+        }
+        return CompiledPlan(
+            sink=sink,
+            window_size=self.window_size,
+            # Same node set, same descriptors, same dimensions -> the
+            # template's (frozen) memory plan describes the clone exactly.
+            memory_plan=self.memory_plan,
+            output_coverage=coverage,
+            pass_timings=self.pass_timings,
+            pass_metadata=self.pass_metadata,
+            query=self.query,
+            sources=bound,
+            tracer=self.tracer,
+            optimization_level=self.optimization_level,
+        )
+
     def explain(self) -> str:
         """Human-readable plan dump in the paper's ``(offset,period)[dim]`` notation."""
         from repro.core.graph import describe_plan

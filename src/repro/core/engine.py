@@ -35,7 +35,7 @@ from repro.core.runtime.executor import execute_plan
 from repro.core.runtime.result import StreamResult
 from repro.core.sources import StreamSource
 from repro.core.timeutil import TICKS_PER_MINUTE
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryConstructionError
 
 
 class CompiledQuery:
@@ -150,6 +150,7 @@ class LifeStreamEngine:
         tracer=None,
         backend: ExecutionBackend | None = None,
         optimization_level: int = MAX_OPTIMIZATION_LEVEL,
+        plan_cache=None,
     ) -> None:
         if window_size <= 0:
             raise ExecutionError(f"window size must be positive, got {window_size}")
@@ -158,21 +159,85 @@ class LifeStreamEngine:
         self.tracer = tracer
         self.backend = backend
         self.optimization_level = optimization_level
+        #: Optional :class:`~repro.serve.cache.PlanCache`.  When set,
+        #: ``compile()`` looks the query up by structural signature and, on a
+        #: hit, hands back a per-client ``instantiate()`` clone of the cached
+        #: template instead of running the pass pipeline again — the
+        #: compile-once path behind :class:`~repro.serve.StreamingService`.
+        self.plan_cache = plan_cache
 
     def compile(
         self,
         query: Query,
         sources: dict[str, StreamSource] | None = None,
     ) -> CompiledQuery:
-        """Compile *query* against *sources* without executing it."""
-        plan = compile_plan(
+        """Compile *query* against *sources* without executing it.
+
+        With a :attr:`plan_cache` attached, structurally equal queries (same
+        normalized spec, source grids, window size and optimization level)
+        compile exactly once; later calls clone the cached template via
+        :meth:`CompiledPlan.instantiate`, rebinding each client's sources.
+        Queries with bound sources always compile directly.
+        """
+        plan = self._cached_plan(query, sources)
+        if plan is None:
+            plan = compile_plan(
+                query,
+                sources=sources,
+                window_size=self.window_size,
+                tracer=self.tracer,
+                optimization_level=self.optimization_level,
+            )
+        return CompiledQuery(plan, targeted=self.targeted, backend=self.backend)
+
+    def _cached_plan(self, query, sources):
+        """Instantiate from the plan cache, or None to compile directly."""
+        template = self._cached_template(query, sources)
+        if template is None:
+            return None
+        # Extra entries in a shared sources dict are tolerated, exactly as
+        # build_plan tolerates them on the direct compile path.
+        return template.instantiate(sources, strict=False)
+
+    def _cached_template(self, query, sources):
+        """The cached (pristine, never-executed) template for *query*.
+
+        Returns None when no plan cache is attached or the query cannot be
+        cached (bound sources).  Also used by the sharded serving layer to
+        pre-warm the cache before forking, without paying for a throwaway
+        per-client instantiation.
+        """
+        if self.plan_cache is None:
+            return None
+        # Imported here: repro.serve sits above the engine in the layering.
+        from repro.serve.cache import has_bound_sources, plan_signature
+
+        if has_bound_sources(query):
+            return None
+        # A cache hit skips build_plan, so its missing-source check (and its
+        # error) must be replicated for clients that forgot a stream.
+        missing = query.source_names() - set(sources or {})
+        if missing:
+            raise QueryConstructionError(
+                f"query references source {sorted(missing)[0]!r} but no such "
+                f"source was provided (available: {sorted(sources or {})})"
+            )
+        key = plan_signature(
             query,
             sources=sources,
             window_size=self.window_size,
-            tracer=self.tracer,
             optimization_level=self.optimization_level,
         )
-        return CompiledQuery(plan, targeted=self.targeted, backend=self.backend)
+        return self.plan_cache.get_or_compile(
+            key,
+            lambda: compile_plan(
+                query,
+                sources=sources,
+                window_size=self.window_size,
+                tracer=self.tracer,
+                optimization_level=self.optimization_level,
+            ),
+        )
 
     def run(
         self,

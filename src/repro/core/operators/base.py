@@ -79,10 +79,24 @@ class Operator:
         input_index: int,
         input_descriptor: StreamDescriptor,
     ) -> int:
-        """Sync time at which input *input_index*'s FWindow must be positioned."""
-        inverse = self.time_map(input_index).invert()
-        mapped = inverse.apply_float(output_sync_time)
-        return input_descriptor.align_down(int(mapped))
+        """Sync time at which input *input_index*'s FWindow must be positioned.
+
+        An operator's time map is fixed at construction, but this translation
+        runs once per input per window per run — and in streaming sessions
+        the readiness walk repeats it every tick.  The inverted map is
+        therefore memoised (as plain floats) on first use; ``_inverse_maps``
+        is a pure cache, invisible to plan signatures and never snapshotted.
+        """
+        cache = self.__dict__.get("_inverse_maps")
+        if cache is None:
+            cache = self.__dict__["_inverse_maps"] = {}
+        entry = cache.get(input_index)
+        if entry is None:
+            inverse = self.time_map(input_index).invert()
+            entry = (float(inverse.scale), float(inverse.shift))
+            cache[input_index] = entry
+        scale, shift = entry
+        return input_descriptor.align_down(int(scale * output_sync_time + shift))
 
     def propagate_coverage(self, coverages: Sequence[IntervalSet]) -> IntervalSet:
         """Output data coverage given the input coverages."""

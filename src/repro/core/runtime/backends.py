@@ -171,6 +171,9 @@ class BatchedBackend(ExecutionBackend):
         starts = _window_starts(target, targeted)
         times, values, durations, elapsed, windows_run = run_window_loop(target, starts, collect)
         stats = build_stats(target, windows_run, int(times.size), elapsed, targeted)
+        # A non-batch-safe plan (or batch_windows=1) ran the original plan one
+        # window at a time; the stats must say so.
+        stats.execution_mode = "serial" if twin is None else self.name
         if twin is not None:
             # Report window counts in the *original* plan's geometry so
             # backend sweeps compare like with like: every twin window is a
@@ -228,6 +231,11 @@ def _run_shard(bounds: tuple[int, int]):
     return times, values, durations, windows_run, per_node
 
 
+def fork_available() -> bool:
+    """True when the platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 class MultiprocessBackend(ExecutionBackend):
     """Shard disjoint output-window ranges across worker processes.
 
@@ -252,7 +260,7 @@ class MultiprocessBackend(ExecutionBackend):
 
     @staticmethod
     def _fork_available() -> bool:
-        return "fork" in multiprocessing.get_all_start_methods()
+        return fork_available()
 
     def session_plan(self, plan: CompiledPlan) -> CompiledPlan:
         raise NotImplementedError(
@@ -296,6 +304,7 @@ class MultiprocessBackend(ExecutionBackend):
         durations = np.concatenate([shard[2] for shard in shard_results])
         windows_run = sum(shard[3] for shard in shard_results)
         stats = build_stats(plan, windows_run, int(times.size), elapsed, targeted)
+        stats.execution_mode = self.name
         # The parent plan never executed; fold the workers' per-node counts
         # (shard warm-up replays are included — they are real work done).
         per_node: dict[str, int] = {}

@@ -37,6 +37,12 @@ class ExecutionStats:
     elapsed_seconds: float = 0.0
     #: Whether targeted query processing was enabled for this run.
     targeted: bool = True
+    #: How the window loop was actually driven: ``"serial"``, ``"batched"``
+    #: or ``"multiprocess"``.  Backends that silently fall back (a batched
+    #: run of a non-batch-safe plan, a multiprocess run without fork or with
+    #: too few windows) report the mode that really executed, not the one
+    #: that was requested.
+    execution_mode: str = "serial"
     #: Per-node window counts, keyed by node name.
     per_node_windows: dict[str, int] = field(default_factory=dict)
 

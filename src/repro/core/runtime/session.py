@@ -120,6 +120,14 @@ class StreamingSession:
         self._plan = (
             compiled.plan if use_backend is None else use_backend.session_plan(compiled.plan)
         )
+        # The mode that really drives the ticks: a batched backend whose plan
+        # is not batch-safe hands back the original plan and the session runs
+        # it one window at a time — the stats must say "serial", not "batched".
+        self._execution_mode = (
+            self._backend_name
+            if use_backend is not None and self._plan is not compiled.plan
+            else "serial"
+        )
         self._targeted = compiled.targeted if targeted is None else targeted
         self._nodes = topological_order(self._plan.sink)
         self._operator_nodes = [n for n in self._nodes if isinstance(n, OperatorNode)]
@@ -156,6 +164,15 @@ class StreamingSession:
         """Per-tick instrumentation records, oldest first."""
         return list(self._ticks)
 
+    def recent_ticks(self, count: int) -> list[TickStats]:
+        """The newest *count* tick records, oldest first.
+
+        Unlike :attr:`ticks` this does not copy the whole history, so
+        schedulers polling a long-lived session's recent profile every
+        batch pay O(count), not O(session age).
+        """
+        return self._ticks[-count:] if count > 0 else []
+
     @property
     def backend_name(self) -> str:
         """Name of the execution backend driving the session."""
@@ -186,10 +203,26 @@ class StreamingSession:
     # -- the tick loop -----------------------------------------------------
 
     def advance(self, watermark: int) -> TickStats:
-        """Advance every replayed source to *watermark* and run the new windows."""
+        """Advance every replayed source to *watermark* and run the new windows.
+
+        Re-announcing the current watermark is an idempotent no-op tick, but
+        a watermark *behind* any replayed source's clock is a protocol error
+        (stream time only moves forward) and raises
+        :class:`~repro.errors.ExecutionError` instead of being silently
+        ignored; use :meth:`poll` after advancing sources independently.
+        """
         self._require_open()
         if self._finished:
             raise ExecutionError("session is finished; no more data can arrive")
+        for node in self._replay_nodes:
+            if watermark < node.source.watermark:
+                raise ExecutionError(
+                    f"watermark regression: source {node.name!r} is already at "
+                    f"{node.source.watermark} but advance() was asked to move it "
+                    f"back to {watermark}; watermarks only move forward "
+                    f"(re-announcing the current watermark is a no-op, and poll() "
+                    f"ticks without touching the sources)"
+                )
         for node in self._replay_nodes:
             if watermark > node.source.watermark:
                 node.source.advance(watermark)
@@ -356,6 +389,7 @@ class StreamingSession:
             preallocated_bytes=self._plan.memory_plan.total_bytes,
             elapsed_seconds=sum(t.elapsed_seconds for t in self._ticks),
             targeted=self._targeted,
+            execution_mode=self._execution_mode,
             per_node_windows={node.name: node.windows_computed for node in self._nodes},
         )
         return StreamResult(times, values, durations, stats=stats)

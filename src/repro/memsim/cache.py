@@ -42,12 +42,19 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
     def scaled(self, factor: float) -> "CacheStats":
-        """Scale the counters (used to undo trace sampling)."""
-        return CacheStats(
-            accesses=int(self.accesses * factor),
-            hits=int(self.hits * factor),
-            misses=int(self.misses * factor),
-        )
+        """Scale the counters (used to undo trace sampling).
+
+        Truncating ``accesses``, ``hits`` and ``misses`` independently can
+        leave ``hits + misses != accesses``; instead only ``accesses`` and
+        ``hits`` are truncated and ``misses`` is derived as the remainder,
+        so the un-sampled counters satisfy the same invariant the simulator
+        maintains.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        accesses = int(self.accesses * factor)
+        hits = min(int(self.hits * factor), accesses)
+        return CacheStats(accesses=accesses, hits=hits, misses=accesses - hits)
 
 
 class CacheSimulator:

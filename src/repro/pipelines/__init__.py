@@ -10,13 +10,13 @@ from repro.pipelines.e2e import (
     run_numlib_e2e,
     run_trill_e2e,
 )
-from repro.pipelines.live import LiveReplayReport, replay_e2e_live
 from repro.pipelines.linezero import (
     evaluate_linezero_accuracy,
     linezero_query,
     run_lifestream_linezero,
     run_trill_linezero,
 )
+from repro.pipelines.live import LiveReplayReport, replay_e2e_live
 
 __all__ = [
     "PipelineRun",

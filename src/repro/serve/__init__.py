@@ -1,0 +1,37 @@
+"""Multi-tenant serving: plan caching, session multiplexing, session sharding.
+
+The serving layer turns the single-session streaming runtime into the
+paper's patient-level-scale story:
+
+* :mod:`repro.serve.cache` — structural plan signatures and the LRU
+  :class:`PlanCache` (compile a query shape once, serve every client);
+* :mod:`repro.serve.service` — :class:`StreamingService`, which multiplexes
+  many :class:`~repro.core.runtime.session.StreamingSession`s and batches
+  their ticks profile-guided (ready-first, cheapest-first);
+* :mod:`repro.serve.sharded` — :class:`ShardedStreamingService`, which
+  shards *whole sessions* across forked worker processes.
+"""
+
+from repro.serve.cache import (
+    PlanCache,
+    PlanCacheStats,
+    fingerprint_operator,
+    fingerprint_value,
+    has_bound_sources,
+    plan_signature,
+)
+from repro.serve.service import ClientRecord, ServicePumpReport, StreamingService
+from repro.serve.sharded import ShardedStreamingService
+
+__all__ = [
+    "PlanCache",
+    "PlanCacheStats",
+    "plan_signature",
+    "fingerprint_operator",
+    "fingerprint_value",
+    "has_bound_sources",
+    "StreamingService",
+    "ServicePumpReport",
+    "ClientRecord",
+    "ShardedStreamingService",
+]

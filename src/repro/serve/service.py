@@ -1,0 +1,279 @@
+"""Multi-tenant streaming service.
+
+:class:`StreamingService` multiplexes many
+:class:`~repro.core.runtime.session.StreamingSession`s — one per client —
+over one engine and one shared :class:`~repro.serve.cache.PlanCache`.  This
+is the serving story for the paper's patient-level scale: N clients running
+the same query shape cost one compile (the template) plus N cheap
+instantiations, and a single :meth:`StreamingService.pump` call ticks every
+session for the new watermarks.
+
+``pump`` is profile-guided: sessions whose watermark actually moved (ready
+work) run before idle re-announcements, and among the ready sessions the
+accumulated per-tick :class:`~repro.core.runtime.session.TickStats` order
+the batch cheapest-expected-tick first — shortest-job-first over the
+observed plan+execute timings, which minimises the mean time a client waits
+for its tick inside the batch.  Sessions with no history yet run after the
+profiled ones (their first tick drains an unknown backlog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import LifeStreamEngine
+from repro.core.runtime.result import StreamResult
+from repro.core.runtime.session import StreamingSession, TickStats
+from repro.core.timeutil import TICKS_PER_MINUTE
+from repro.errors import ExecutionError
+from repro.serve.cache import PlanCache, PlanCacheStats
+
+#: How many recent ticks inform a session's expected-cost estimate.
+PROFILE_WINDOW = 8
+
+
+@dataclass
+class ClientRecord:
+    """One client's session plus the compiled query it owns."""
+
+    client_id: str
+    session: StreamingSession
+    compiled: object
+    #: Whether this client's plan came from the cache (False = it compiled).
+    cache_hit: bool
+
+
+@dataclass
+class ServicePumpReport:
+    """Outcome of one :meth:`StreamingService.pump` over a batch of sessions."""
+
+    #: Client ids in the order their sessions were ticked.
+    order: list[str] = field(default_factory=list)
+    #: Per-client tick instrumentation.
+    ticks: dict[str, TickStats] = field(default_factory=dict)
+
+    @property
+    def windows_run(self) -> int:
+        """Windows executed across the batch."""
+        return sum(t.windows_run for t in self.ticks.values())
+
+    @property
+    def events_emitted(self) -> int:
+        """Events emitted across the batch."""
+        return sum(t.events_emitted for t in self.ticks.values())
+
+    @property
+    def plan_seconds(self) -> float:
+        """Compile-side (coverage/readiness) seconds across the batch."""
+        return sum(t.plan_seconds for t in self.ticks.values())
+
+    @property
+    def execute_seconds(self) -> float:
+        """Window-loop seconds across the batch."""
+        return sum(t.execute_seconds for t in self.ticks.values())
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total wall-clock seconds across the batch."""
+        return self.plan_seconds + self.execute_seconds
+
+    def merge(self, other: "ServicePumpReport") -> None:
+        """Fold *other*'s per-client records into this report."""
+        self.order.extend(other.order)
+        self.ticks.update(other.ticks)
+
+
+class StreamingService:
+    """Serve many concurrent streaming clients from one engine.
+
+    Each :meth:`open` compiles (or cache-instantiates) the client's query
+    and holds a :class:`StreamingSession` open for it; :meth:`pump` advances
+    a whole batch of clients at once.  All sessions share the engine's
+    :class:`~repro.serve.cache.PlanCache`, so N clients with the same query
+    shape pay for one compile.
+    """
+
+    def __init__(
+        self,
+        window_size: int = TICKS_PER_MINUTE,
+        targeted: bool = True,
+        backend=None,
+        optimization_level: int | None = None,
+        max_cached_plans: int = 32,
+        engine: LifeStreamEngine | None = None,
+    ) -> None:
+        if engine is None:
+            kwargs = {}
+            if optimization_level is not None:
+                kwargs["optimization_level"] = optimization_level
+            engine = LifeStreamEngine(
+                window_size=window_size,
+                targeted=targeted,
+                backend=backend,
+                plan_cache=PlanCache(capacity=max_cached_plans),
+                **kwargs,
+            )
+        elif engine.plan_cache is None:
+            engine.plan_cache = PlanCache(capacity=max_cached_plans)
+        self.engine = engine
+        self._clients: dict[str, ClientRecord] = {}
+        self._pumps = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(
+        self,
+        client_id: str,
+        query,
+        sources,
+        targeted: bool | None = None,
+    ) -> StreamingSession:
+        """Open a session for *client_id* over its own *sources*."""
+        if client_id in self._clients:
+            raise ExecutionError(
+                f"client {client_id!r} already has an open session; close it "
+                f"before opening another"
+            )
+        hits_before = self.engine.plan_cache.stats.hits
+        compiled = self.engine.compile(query, sources)
+        session = compiled.open_session(targeted=targeted)
+        self._clients[client_id] = ClientRecord(
+            client_id=client_id,
+            session=session,
+            compiled=compiled,
+            cache_hit=self.engine.plan_cache.stats.hits > hits_before,
+        )
+        return session
+
+    def session(self, client_id: str) -> StreamingSession:
+        """The open session of *client_id*."""
+        return self._record(client_id).session
+
+    def compiled_query(self, client_id: str):
+        """The :class:`~repro.core.engine.CompiledQuery` owned by *client_id*."""
+        return self._record(client_id).compiled
+
+    def close(self, client_id: str) -> None:
+        """Close *client_id*'s session and forget the client."""
+        record = self._clients.pop(client_id, None)
+        if record is not None:
+            record.session.close()
+
+    def close_all(self) -> None:
+        """Close every client session."""
+        for client_id in list(self._clients):
+            self.close(client_id)
+
+    def __enter__(self) -> "StreamingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_all()
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    @property
+    def client_ids(self) -> list[str]:
+        """Ids of the currently open clients, in open order."""
+        return list(self._clients)
+
+    @property
+    def cache_stats(self) -> PlanCacheStats:
+        """Hit/miss/eviction counters of the shared plan cache."""
+        return self.engine.plan_cache.stats
+
+    @property
+    def pumps(self) -> int:
+        """Number of :meth:`pump` batches served so far."""
+        return self._pumps
+
+    # -- the batch tick loop -----------------------------------------------
+
+    def pump(self, watermarks) -> ServicePumpReport:
+        """Advance a batch of sessions and run their newly-ready windows.
+
+        *watermarks* is either one watermark for every open client or a
+        ``{client_id: watermark}`` mapping for a subset.  Sessions with
+        genuinely new data (watermark ahead of the session's clock) tick
+        first, ordered cheapest-expected-tick first from their accumulated
+        :class:`TickStats`; idle re-announcements tick last (no-ops).
+        """
+        if isinstance(watermarks, dict):
+            batch = dict(watermarks)
+            unknown = set(batch) - set(self._clients)
+            if unknown:
+                raise ExecutionError(
+                    f"pump() was given unknown client(s) {sorted(unknown)}; "
+                    f"open sessions: {sorted(self._clients)}"
+                )
+        else:
+            batch = {
+                client_id: watermarks
+                for client_id, record in self._clients.items()
+                if not record.session.finished
+            }
+        report = ServicePumpReport()
+        for client_id in self._schedule(batch):
+            stats = self._clients[client_id].session.advance(batch[client_id])
+            report.order.append(client_id)
+            report.ticks[client_id] = stats
+        self._pumps += 1
+        return report
+
+    def _schedule(self, batch: dict[str, int]) -> list[str]:
+        """Tick order for *batch*: ready sessions first, cheapest first."""
+        ready: list[str] = []
+        idle: list[str] = []
+        for client_id, watermark in batch.items():
+            current = self._record(client_id).session.watermark
+            if current is None or watermark > current:
+                ready.append(client_id)
+            else:
+                idle.append(client_id)
+        ready.sort(key=self._expected_cost)
+        idle.sort(key=self._expected_cost)
+        return ready + idle
+
+    def _expected_cost(self, client_id: str) -> tuple[int, float]:
+        """Shortest-job-first key from the session's recent tick profile."""
+        ticks = self._clients[client_id].session.recent_ticks(PROFILE_WINDOW)
+        if not ticks:
+            # No profile yet: run after the profiled sessions.
+            return (1, 0.0)
+        return (0, sum(t.elapsed_seconds for t in ticks) / len(ticks))
+
+    def finish(self) -> ServicePumpReport:
+        """Drain every open session's deferred tail (see ``Session.finish``)."""
+        report = ServicePumpReport()
+        for client_id in sorted(self._clients, key=self._expected_cost):
+            stats = self._clients[client_id].session.finish()
+            report.order.append(client_id)
+            report.ticks[client_id] = stats
+        self._pumps += 1
+        return report
+
+    # -- results -------------------------------------------------------------
+
+    def result(self, client_id: str) -> StreamResult:
+        """Everything *client_id*'s session has emitted so far."""
+        return self._record(client_id).session.result()
+
+    def results(self) -> dict[str, StreamResult]:
+        """Per-client results for every open client."""
+        return {client_id: self.result(client_id) for client_id in self._clients}
+
+    def _record(self, client_id: str) -> ClientRecord:
+        record = self._clients.get(client_id)
+        if record is None:
+            raise ExecutionError(
+                f"no open session for client {client_id!r} "
+                f"(open: {sorted(self._clients)})"
+            )
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StreamingService {len(self._clients)} client(s), "
+            f"{self.cache_stats.hits} cache hit(s), {self._pumps} pump(s)>"
+        )

@@ -247,3 +247,80 @@ class TestExecutionStatsAcrossBackends:
         result = engine.run(CHAIN_QUERIES["aggregate"](), {"s": source})
         assert result.stats.windows_computed > 0
         assert result.stats.events_ingested == source.event_count()
+
+
+class TestExecutionModeHonesty:
+    """Regression: silent backend fallbacks used to report the requested
+    backend in the stats; they must report the mode that actually ran."""
+
+    def test_serial_backend_reports_serial(self):
+        engine = LifeStreamEngine(window_size=1000, backend=SerialBackend())
+        result = engine.run(CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()})
+        assert result.stats.execution_mode == "serial"
+
+    def test_default_backend_reports_serial(self):
+        result = LifeStreamEngine(window_size=1000).run(
+            CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()}
+        )
+        assert result.stats.execution_mode == "serial"
+
+    def test_batched_reports_batched_when_widened(self):
+        engine = LifeStreamEngine(window_size=1000, backend=BatchedBackend(8))
+        result = engine.run(CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()})
+        assert result.stats.execution_mode == "batched"
+
+    def test_batched_fallback_reports_serial(self):
+        # Non-batch-safe plan: the batched backend runs the original plan.
+        query = (
+            Query.source("s", frequency_hz=500)
+            .alter_period(1, mode="interpolate")
+            .where(lambda v: v > 0)
+        )
+        engine = LifeStreamEngine(window_size=1000, backend=BatchedBackend(16))
+        result = engine.run(query, {"s": _gappy_source()})
+        assert result.stats.execution_mode == "serial"
+        # batch_windows=1 never widens either.
+        result = LifeStreamEngine(window_size=1000, backend=BatchedBackend(1)).run(
+            CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()}
+        )
+        assert result.stats.execution_mode == "serial"
+
+    def test_multiprocess_reports_multiprocess_when_sharded(self):
+        engine = LifeStreamEngine(window_size=1000, backend=MultiprocessBackend(n_workers=2))
+        result = engine.run(CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()})
+        assert result.stats.execution_mode == "multiprocess"
+
+    def test_multiprocess_single_worker_reports_serial(self):
+        engine = LifeStreamEngine(window_size=1000, backend=MultiprocessBackend(n_workers=1))
+        result = engine.run(CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()})
+        assert result.stats.execution_mode == "serial"
+
+    def test_multiprocess_too_few_windows_reports_serial(self):
+        # 4 windows < 2 * 3 workers: the shard split would be all warm-up.
+        source = make_source(2000, period=2)
+        engine = LifeStreamEngine(window_size=1000, backend=MultiprocessBackend(n_workers=3))
+        result = engine.run(CHAIN_QUERIES["elementwise"](), {"s": source})
+        assert result.stats.execution_mode == "serial"
+
+    def test_multiprocess_without_fork_reports_serial(self, monkeypatch):
+        monkeypatch.setattr(MultiprocessBackend, "_fork_available", staticmethod(lambda: False))
+        engine = LifeStreamEngine(window_size=1000, backend=MultiprocessBackend(n_workers=2))
+        result = engine.run(CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()})
+        assert result.stats.execution_mode == "serial"
+
+    def test_session_reports_widened_and_fallback_modes(self):
+        from repro.core.sources import ReplaySource
+
+        engine = LifeStreamEngine(window_size=1000, backend=BatchedBackend(4))
+        session = engine.open_session(
+            CHAIN_QUERIES["elementwise"](), {"s": ReplaySource(_gappy_source())}
+        )
+        session.finish()
+        assert session.result().stats.execution_mode == "batched"
+        session.close()
+        # Non-batch-safe plan: the session drives the original plan serially.
+        query = Query.source("s", frequency_hz=500).alter_period(1, mode="interpolate")
+        session = engine.open_session(query, {"s": ReplaySource(_gappy_source())})
+        session.finish()
+        assert session.result().stats.execution_mode == "serial"
+        session.close()

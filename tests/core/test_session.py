@@ -343,6 +343,30 @@ class TestSessionLifecycle:
         session.finish()
         session.close()
 
+    def test_watermark_regression_rejected(self):
+        # Regression: a watermark behind a source's clock used to be silently
+        # ignored; it must raise, while re-announcing the current watermark
+        # stays an idempotent no-op tick.
+        engine = LifeStreamEngine(window_size=1000)
+        session = engine.open_session(
+            SESSION_QUERIES["elementwise"](), {"s": ReplaySource(_source())}
+        )
+        first = session.advance(5000)
+        assert first.windows_run > 0
+        with pytest.raises(ExecutionError, match="regression"):
+            session.advance(3000)
+        # The failed advance must not have moved any source.
+        assert session.watermark == 5000
+        repeat = session.advance(5000)
+        assert repeat.windows_run == 0
+        assert repeat.events_emitted == 0
+        session.finish()
+        reference = LifeStreamEngine(window_size=1000).run(
+            SESSION_QUERIES["elementwise"](), {"s": _source()}
+        )
+        _assert_identical(reference, session.result(), "after rejected regression")
+        session.close()
+
     def test_advance_after_finish_rejected(self):
         engine = LifeStreamEngine(window_size=1000)
         session = engine.open_session(

@@ -103,7 +103,7 @@ class TestLineZeroArtifacts:
         values = np.full(50_000, 80.0)
         _, artifacts = inject_line_zero(values, n_artifacts=10, seed=3)
         spans = sorted((a.start_index, a.end_index) for a in artifacts)
-        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        for (_s1, e1), (s2, _e2) in zip(spans, spans[1:]):
             assert e1 <= s2
 
     def test_zero_artifacts(self):

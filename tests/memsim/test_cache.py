@@ -2,8 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.memsim import AccessTracer, CacheSimulator
+from repro.memsim.cache import CacheStats
 
 
 class TestCacheSimulator:
@@ -52,6 +55,44 @@ class TestCacheSimulator:
     def test_invalid_geometry_rejected(self):
         with pytest.raises(ValueError):
             CacheSimulator(size_bytes=0)
+
+
+class TestCacheStatsScaled:
+    """Regression: independent truncation used to break hits+misses==accesses."""
+
+    @given(
+        hits=st.integers(min_value=0, max_value=10**9),
+        misses=st.integers(min_value=0, max_value=10**9),
+        factor=st.one_of(
+            st.integers(min_value=0, max_value=64).map(float),
+            st.floats(min_value=0.0, max_value=64.0, allow_nan=False),
+        ),
+    )
+    def test_scaled_counters_stay_consistent(self, hits, misses, factor):
+        stats = CacheStats(accesses=hits + misses, hits=hits, misses=misses)
+        scaled = stats.scaled(factor)
+        assert scaled.hits + scaled.misses == scaled.accesses
+        assert 0 <= scaled.hits <= scaled.accesses
+        assert 0 <= scaled.misses <= scaled.accesses
+
+    def test_regression_example(self):
+        # accesses=2, hits=1, misses=1 scaled by 1.5 used to truncate to
+        # accesses=3, hits=1, misses=1 — one access lost.
+        stats = CacheStats(accesses=2, hits=1, misses=1)
+        scaled = stats.scaled(1.5)
+        assert scaled.accesses == 3
+        assert scaled.hits == 1
+        assert scaled.misses == 2
+        assert scaled.hits + scaled.misses == scaled.accesses
+
+    def test_identity_scale_is_exact(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        scaled = stats.scaled(1.0)
+        assert (scaled.accesses, scaled.hits, scaled.misses) == (10, 7, 3)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            CacheStats(accesses=1, hits=1).scaled(-1.0)
 
 
 class TestAccessTracer:

@@ -7,6 +7,7 @@ import pytest
 from repro.baselines.numlib import ops as numlib_ops
 from repro.baselines.trill import TrillEngine, TrillInput
 from repro.core.engine import LifeStreamEngine
+from repro.core.query import Query
 from repro.core.sources import ArraySource
 from repro.data.gaps import small_random_gaps
 from repro.data.physio import generate_ecg
@@ -17,7 +18,6 @@ from repro.ops.operations import (
     lifestream_operation,
     trill_operation,
 )
-from repro.core.query import Query
 
 
 @pytest.fixture(scope="module")
