@@ -39,7 +39,9 @@ from repro.core import (
     StreamResult,
     StreamSource,
     TickStats,
+    VectorizedBackend,
     period_from_hz,
+    recommend_backend,
 )
 from repro.core.timeutil import TICKS_PER_HOUR, TICKS_PER_MINUTE, TICKS_PER_SECOND
 from repro.errors import (
@@ -70,6 +72,8 @@ __all__ = [
     "SerialBackend",
     "BatchedBackend",
     "MultiprocessBackend",
+    "VectorizedBackend",
+    "recommend_backend",
     "StreamingService",
     "ShardedStreamingService",
     "PlanCache",

@@ -20,6 +20,8 @@ from repro.core.runtime.backends import (
     ExecutionBackend,
     MultiprocessBackend,
     SerialBackend,
+    VectorizedBackend,
+    recommend_backend,
 )
 from repro.core.runtime.result import ExecutionStats, StreamResult
 from repro.core.runtime.session import StreamingSession, TickStats
@@ -48,6 +50,8 @@ __all__ = [
     "SerialBackend",
     "BatchedBackend",
     "MultiprocessBackend",
+    "VectorizedBackend",
+    "recommend_backend",
     "StreamSource",
     "ArraySource",
     "CsvSource",

@@ -11,7 +11,10 @@ over an explicit plan IR, run by a :class:`PassManager`:
    consistent dimension (Section 5.2);
 4. ``fuse_elementwise``  — collapse element-wise operator chains into fused
    kernel nodes (:mod:`repro.core.compiler.fusion`);
-5. ``memory``            — static allocation of every FWindow buffer.
+5. ``vectorize``         — mark which operator nodes lower to whole-run
+   array kernels (:mod:`repro.core.runtime.vectorized`), with per-node
+   fallback for the rest;
+6. ``memory``            — static allocation of every FWindow buffer.
 
 Each pass is timed; the timeline is stored on the resulting
 :class:`~repro.core.compiler.CompiledPlan` and reported by its
@@ -136,6 +139,29 @@ class FuseElementwisePass(CompilerPass):
         )
 
 
+class VectorizePass(CompilerPass):
+    """Mark which operator nodes lower to whole-run array kernels.
+
+    Runs after fusion (fused chains lower as one kernel) and annotates each
+    operator node with a ``vectorizable`` flag; the summary lands in the
+    compiled plan's metadata so ``explain()`` shows what the vectorized
+    backend will lower and what falls back per node to window-by-window
+    execution.  Analysis only — the plan graph is not rewritten, so every
+    backend (and level-0 compilations, where this pass still runs) executes
+    the same graph.
+    """
+
+    name = "vectorize"
+
+    def run(self, ctx: PassContext) -> None:
+        # Imported lazily: the runtime package imports the compiler at module
+        # load (backends compile widened twins), so a module-level import
+        # here would cycle mid-initialisation.
+        from repro.core.runtime.vectorized import annotate_plan
+
+        ctx.metadata["vectorize"] = annotate_plan(ctx.require_sink())
+
+
 class MemoryPass(CompilerPass):
     """Static memory allocation: one FWindow per plan node, allocated once."""
 
@@ -165,6 +191,7 @@ class PassManager:
                 LineagePass(),
                 LocalityPass(),
                 FuseElementwisePass(),
+                VectorizePass(),
                 MemoryPass(),
             ]
         )

@@ -122,6 +122,44 @@ class FWindow:
         """True when *sync_time* falls inside the current window interval."""
         return self.sync_time <= sync_time < self.end_time
 
+    def subwindow(self, index: int, count: int) -> "FWindow":
+        """Zero-copy view of window *index* of a run buffer split into *count*.
+
+        A run buffer holds ``count`` consecutive windows of dimension
+        ``dimension / count`` in one contiguous allocation; the view's
+        columnar fields are slices of this window's, so writes through the
+        view land in the run buffer.  Views are positioned once (at the slot
+        they alias) and never slide.
+        """
+        if count <= 0:
+            raise MemoryPlanError(f"subwindow count must be positive, got {count}")
+        if self.capacity % count != 0 or self.dimension % count != 0:
+            raise MemoryPlanError(
+                f"cannot split FWindow of capacity {self.capacity} "
+                f"(dimension {self.dimension}) into {count} subwindows"
+            )
+        if not 0 <= index < count:
+            raise MemoryPlanError(f"subwindow index {index} out of range for count {count}")
+        capacity = self.capacity // count
+        dimension = self.dimension // count
+        view = FWindow.__new__(FWindow)
+        view.descriptor = self.descriptor
+        view.dimension = dimension
+        view.capacity = capacity
+        view.sync_time = self.sync_time + index * dimension
+        view.name = f"{self.name}[{index}]"
+        view._monotonic = False
+        view._has_slid = True
+        low = index * capacity
+        view.values = self.values[low : low + capacity]
+        view.durations = self.durations[low : low + capacity]
+        view.bitvector = self.bitvector[low : low + capacity]
+        view._tracer = None
+        view._values_buffer = None
+        view._durations_buffer = None
+        view._bitvector_buffer = None
+        return view
+
     # -- sliding -----------------------------------------------------------
 
     def slide_to(self, sync_time: int) -> None:

@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.event import StreamDescriptor
 from repro.core.fwindow import FWindow
 from repro.core.intervals import IntervalSet
-from repro.core.operators.base import Operator, masked_reduce
+from repro.core.operators.base import Operator, WindowAgnosticRun, masked_reduce
 from repro.core.timeutil import lcm
 from repro.errors import QueryConstructionError
 
@@ -38,7 +38,7 @@ class _SlidingTail:
         self.mask = np.zeros(samples, dtype=bool)
 
 
-class Aggregate(Operator):
+class Aggregate(WindowAgnosticRun, Operator):
     """Apply an aggregate function over fixed windows of the input stream."""
 
     name = "Aggregate"

@@ -159,8 +159,52 @@ class Operator:
         """Fill *output* from the already-positioned and filled *inputs*."""
         raise NotImplementedError
 
+    def compute_run(
+        self, output: FWindow, inputs: Sequence[FWindow], state, windows: int
+    ) -> None:
+        """Fill a run buffer of *windows* consecutive windows in one call.
+
+        *output* and every input are run buffers: contiguous FWindows whose
+        dimension is ``windows`` times the plan's window dimension, holding
+        ``windows`` consecutive windows back to back.  The default drives the
+        ordinary :meth:`compute` window-by-window over zero-copy
+        :meth:`~repro.core.fwindow.FWindow.subwindow` views — exactly the
+        serial executor's window sequence, so any operator is run-executable
+        (just not vectorized).  Operator families whose computation widens
+        cleanly override this with a single array program over the whole run;
+        the vectorized backend only dispatches such overrides when the
+        operator is also ``batch_safe`` for its inputs.
+        """
+        if windows == 1:
+            self.compute(output, inputs, state)
+            return
+        for index in range(windows):
+            view_inputs = [window.subwindow(index, windows) for window in inputs]
+            self.compute(output.subwindow(index, windows), view_inputs, state)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
+
+
+class WindowAgnosticRun:
+    """Mixin for operators whose ``compute`` never inspects window extent.
+
+    Batch-safe operators compute the same per-slot output whatever the
+    FWindow dimension (the invariant the batched backend's parity suite
+    proves), so a run buffer of N consecutive windows is just one wider
+    window to them: ``compute_run`` is a single ``compute`` call over the
+    whole run.  Stateful members of these families (Shift carries, sliding
+    tails, join/chop carries) remain exact because their state transition is
+    likewise extent-invariant — a run of N windows leaves the state exactly
+    where N serial windows would.
+
+    Must precede :class:`Operator` in the MRO.
+    """
+
+    def compute_run(
+        self, output: FWindow, inputs: Sequence[FWindow], state, windows: int
+    ) -> None:
+        self.compute(output, inputs, state)
 
 
 # ---------------------------------------------------------------------------
@@ -191,55 +235,88 @@ def sample_active(
     """
     out_times = np.asarray(out_times, dtype=np.int64)
 
-    # Fast path: the window is fully populated and every event lives for
-    # exactly one period (the overwhelmingly common case for raw periodic
-    # signals).  The active event index is then pure arithmetic — no search.
-    if (
-        source.bitvector.all()
-        and source.capacity > 0
-        and int(source.durations[0]) == source.period
-        and int(source.durations[-1]) == source.period
-    ):
+    # Fast path: every event in the window lives for exactly one period (the
+    # overwhelmingly common case for periodic signals, gaps included).  An
+    # event then covers exactly its own grid slot, so the active event index
+    # is pure arithmetic — no search — and a gap is simply an absent slot.
+    if source.capacity > 0 and bool((source.durations == source.period).all()):
         indices = (out_times - source.sync_time) // source.period
-        active = (indices >= 0) & (indices < source.capacity)
+        in_range = (indices >= 0) & (indices < source.capacity)
         clipped = np.clip(indices, 0, source.capacity - 1)
+        active = in_range & source.bitvector[clipped]
         sampled = source.values[clipped]
-        last_index = source.capacity - 1
+        # A carried event participates only while it is still alive at the
+        # window start (the bounded-state rule the slow path applies).  It
+        # may then cover slots the window's own events do not reach: slots
+        # before the window and — when the carry outlives its period —
+        # absent slots before the window's *first* present event.  In the
+        # common case (the carry ends exactly at the window start) this
+        # costs one comparison.
+        if carry is not None:
+            carry_time, carry_value, carry_duration = carry
+            carry_end = carry_time + carry_duration
+            if carry_end > source.sync_time:
+                carried_active = (out_times >= carry_time) & (out_times < carry_end)
+                if source.bitvector.any():
+                    first_time = (
+                        source.sync_time
+                        + int(np.argmax(source.bitvector)) * source.period
+                    )
+                    carried_active &= out_times < first_time
+                if carried_active.any():
+                    sampled = np.where(carried_active, carry_value, sampled)
+                    active = active | carried_active
+        if source.bitvector[-1]:
+            last_index = source.capacity - 1
+        else:
+            present = np.flatnonzero(source.bitvector)
+            last_index = int(present[-1]) if present.size else -1
+        if last_index < 0:
+            # No events in the window at all: the carry stays as it was.
+            return active, sampled, carry
         new_carry = (
             int(source.sync_time + last_index * source.period),
             float(source.values[last_index]),
             int(source.durations[last_index]),
         )
-        # An old carried event may still be active before the window's first
-        # own event; splice it in only where needed.
-        if carry is not None and (~active).any():
-            carry_time, carry_value, carry_duration = carry
-            carried_active = (~active) & (out_times >= carry_time) & (
-                out_times < carry_time + carry_duration
-            )
-            if carried_active.any():
-                sampled = np.where(carried_active, carry_value, sampled)
-                active = active | carried_active
         return active, sampled, new_carry
 
     times = source.present_times()
     values = source.present_values()
     durations = source.present_durations()
+    # The carry participates only when it is still alive at the window start
+    # and strictly precedes the window's own events.  It is spliced into the
+    # few slots it actually covers below, rather than concatenated in front
+    # of the event columns (three fresh allocations per window on the old
+    # slow path).
+    use_carry = False
     if carry is not None:
         carry_time, carry_value, carry_duration = carry
-        still_relevant = carry_time + carry_duration > source.sync_time
-        before_window = times.size == 0 or carry_time < times[0]
-        if still_relevant and before_window:
-            times = np.concatenate(([carry_time], times))
-            values = np.concatenate(([carry_value], values))
-            durations = np.concatenate(([carry_duration], durations))
+        use_carry = carry_time + carry_duration > source.sync_time and (
+            times.size == 0 or carry_time < times[0]
+        )
     if times.size == 0:
-        mask = np.zeros(out_times.shape, dtype=bool)
-        return mask, np.zeros(out_times.shape, dtype=np.float64), carry
+        if not use_carry:
+            mask = np.zeros(out_times.shape, dtype=bool)
+            return mask, np.zeros(out_times.shape, dtype=np.float64), carry
+        active = (out_times >= carry_time) & (out_times < carry_time + carry_duration)
+        sampled = np.full(out_times.shape, carry_value, dtype=np.float64)
+        return active, sampled, carry
     indices = np.searchsorted(times, out_times, side="right") - 1
     clipped = np.clip(indices, 0, times.size - 1)
     active = (indices >= 0) & (times[clipped] + durations[clipped] > out_times)
     sampled = values[clipped]
+    if use_carry:
+        # Slots before the window's first event (search index -1) may still
+        # be covered by the carried event.
+        carried_active = (
+            (indices < 0)
+            & (out_times >= carry_time)
+            & (out_times < carry_time + carry_duration)
+        )
+        if carried_active.any():
+            sampled = np.where(carried_active, carry_value, sampled)
+            active = active | carried_active
     new_carry = (int(times[-1]), float(values[-1]), int(durations[-1]))
     return active, sampled, new_carry
 
@@ -261,23 +338,35 @@ def masked_reduce(
     present = counts > 0
     if callable(how):
         return np.asarray(how(values, mask), dtype=np.float64), present
+    # Dense fast path: with every sample present, masking with a neutral fill
+    # is the identity, so skip the np.where temporaries.  Bit-identical to
+    # the masked path because an all-True np.where returns the values array
+    # unchanged and the row reductions see the same operand order.
+    dense = bool(mask.all())
     if how == "count":
         return counts.astype(np.float64), present
     if how == "sum":
-        return np.where(mask, values, 0.0).sum(axis=1), present
+        masked = values if dense else np.where(mask, values, 0.0)
+        return masked.sum(axis=1), present
     if how == "mean":
-        sums = np.where(mask, values, 0.0).sum(axis=1)
+        masked = values if dense else np.where(mask, values, 0.0)
+        sums = masked.sum(axis=1)
         safe = np.maximum(counts, 1)
         return sums / safe, present
     if how == "max":
-        return np.where(mask, values, -np.inf).max(axis=1), present
+        masked = values if dense else np.where(mask, values, -np.inf)
+        return masked.max(axis=1), present
     if how == "min":
-        return np.where(mask, values, np.inf).min(axis=1), present
+        masked = values if dense else np.where(mask, values, np.inf)
+        return masked.min(axis=1), present
     if how == "std":
-        sums = np.where(mask, values, 0.0).sum(axis=1)
+        masked = values if dense else np.where(mask, values, 0.0)
+        sums = masked.sum(axis=1)
         safe = np.maximum(counts, 1)
         means = sums / safe
-        centered = np.where(mask, values - means[:, None], 0.0)
+        centered = values - means[:, None]
+        if not dense:
+            centered = np.where(mask, centered, 0.0)
         variance = (centered**2).sum(axis=1) / safe
         return np.sqrt(variance), present
     if how == "first":

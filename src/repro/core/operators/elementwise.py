@@ -12,11 +12,11 @@ import numpy as np
 
 from repro.core.event import StreamDescriptor
 from repro.core.fwindow import FWindow
-from repro.core.operators.base import Operator, ensure_callable
+from repro.core.operators.base import Operator, WindowAgnosticRun, ensure_callable
 from repro.core.timeutil import LinearTimeMap
 
 
-class Select(Operator):
+class Select(WindowAgnosticRun, Operator):
     """Project the payload of every event through a user function.
 
     The projection must be vectorised (accept and return a NumPy array).
@@ -41,7 +41,7 @@ class Select(Operator):
         output.trace_write()
 
 
-class Where(Operator):
+class Where(WindowAgnosticRun, Operator):
     """Filter events by a predicate on the payload value.
 
     Filtered-out events leave their grid slot absent (bitvector cleared);
@@ -66,7 +66,7 @@ class Where(Operator):
         output.trace_write()
 
 
-class Shift(Operator):
+class Shift(WindowAgnosticRun, Operator):
     """Shift the sync time of every event by a constant number of ticks.
 
     Two execution strategies are used:
@@ -165,7 +165,7 @@ class Shift(Operator):
         output.trace_write()
 
 
-class AlterDuration(Operator):
+class AlterDuration(WindowAgnosticRun, Operator):
     """Set the active duration of every event to a constant."""
 
     name = "AlterDuration"

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.event import StreamDescriptor
 from repro.core.fwindow import FWindow
 from repro.core.intervals import IntervalSet
-from repro.core.operators.base import Operator
+from repro.core.operators.base import Operator, WindowAgnosticRun
 from repro.core.operators.elementwise import AlterDuration, Select, Shift, Where
 from repro.core.timeutil import LinearTimeMap
 from repro.errors import CompilationError
@@ -33,7 +33,7 @@ from repro.errors import CompilationError
 FUSABLE_OPERATORS = (Select, Where, Shift, AlterDuration)
 
 
-class FusedElementwise(Operator):
+class FusedElementwise(WindowAgnosticRun, Operator):
     """A chain of element-wise operators executed as one kernel.
 
     ``stages`` is an ordered list of ``(operator, input_descriptor)`` pairs,

@@ -25,7 +25,12 @@ import numpy as np
 from repro.core.event import StreamDescriptor
 from repro.core.fwindow import FWindow
 from repro.core.intervals import IntervalSet
-from repro.core.operators.base import Operator, ensure_callable, sample_active
+from repro.core.operators.base import (
+    Operator,
+    WindowAgnosticRun,
+    ensure_callable,
+    sample_active,
+)
 from repro.core.timeutil import lcm
 from repro.errors import QueryConstructionError
 
@@ -38,7 +43,29 @@ def _pair_left(left: np.ndarray, right: np.ndarray) -> np.ndarray:
     return left
 
 
-class Join(Operator):
+def _grid_carry(
+    source: FWindow, carry: tuple[int, float, int] | None
+) -> tuple[int, float, int] | None:
+    """The carry :func:`sample_active` would leave after an aligned window.
+
+    The last present event of the window, or the existing carry when the
+    window holds no events at all.
+    """
+    if source.bitvector[-1]:
+        last_index = source.capacity - 1
+    else:
+        present = np.flatnonzero(source.bitvector)
+        last_index = int(present[-1]) if present.size else -1
+    if last_index < 0:
+        return carry
+    return (
+        int(source.sync_time + last_index * source.period),
+        float(source.values[last_index]),
+        int(source.durations[last_index]),
+    )
+
+
+class Join(WindowAgnosticRun, Operator):
     """Temporal equijoin of two periodic streams."""
 
     name = "Join"
@@ -111,6 +138,46 @@ class Join(Operator):
         output.bitvector[:] = present
         output.durations[:] = output.period
         output.trace_write()
+
+    def compute_run(
+        self, output: FWindow, inputs: Sequence[FWindow], state, windows: int
+    ) -> None:
+        """Whole-run inner join without materialising the sampling grid.
+
+        When both inputs live on exactly the output grid and every event
+        spans one period (the common periodic-signal case,
+        :func:`~repro.core.operators.base.sample_active`'s identity fast
+        path), sampling each side is the identity: the join reduces to an
+        AND of the bitvectors plus one combine over the value columns, and
+        the per-side carries are the windows' last present events.  Any
+        other geometry falls back to one ``compute`` over the run (the
+        :class:`~repro.core.operators.base.WindowAgnosticRun` behaviour).
+        """
+        left, right = inputs
+        if (
+            self.how == "inner"
+            and output.capacity > 0
+            and left.capacity == output.capacity
+            and left.period == output.period
+            and left.sync_time == output.sync_time
+            and right.capacity == output.capacity
+            and right.period == output.period
+            and right.sync_time == output.sync_time
+            and bool((left.durations == left.period).all())
+            and bool((right.durations == right.period).all())
+        ):
+            left.trace_read()
+            right.trace_read()
+            with np.errstate(all="ignore"):
+                combined = self.combine(left.values, right.values)
+            output.values[:] = combined
+            np.logical_and(left.bitvector, right.bitvector, out=output.bitvector)
+            output.durations[:] = output.period
+            state["left_carry"] = _grid_carry(left, state["left_carry"])
+            state["right_carry"] = _grid_carry(right, state["right_carry"])
+            output.trace_write()
+            return
+        self.compute(output, inputs, state)
 
 
 class ClipJoin(Operator):

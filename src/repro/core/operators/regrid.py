@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.event import StreamDescriptor
 from repro.core.fwindow import FWindow
-from repro.core.operators.base import Operator, sample_active
+from repro.core.operators.base import Operator, WindowAgnosticRun, sample_active
 from repro.core.timeutil import lcm
 from repro.errors import QueryConstructionError
 
@@ -27,7 +27,7 @@ from repro.errors import QueryConstructionError
 RESAMPLE_MODES = ("hold", "interpolate", "sample")
 
 
-class AlterPeriod(Operator):
+class AlterPeriod(WindowAgnosticRun, Operator):
     """Change the period of a stream, re-gridding its events."""
 
     name = "AlterPeriod"
@@ -117,7 +117,7 @@ class AlterPeriod(Operator):
         output.durations[:] = output.period
 
 
-class Chop(Operator):
+class Chop(WindowAgnosticRun, Operator):
     """Split the interval of every event on period-*p* boundaries."""
 
     name = "Chop"

@@ -74,3 +74,49 @@ class Transform(Operator):
                 output.bitvector[lo:hi] = chunk_mask
         output.durations[:] = source.durations
         output.trace_write()
+
+    def compute_run(
+        self, output: FWindow, inputs: Sequence[FWindow], state, windows: int
+    ) -> None:
+        """Apply the transform to every chunk of the run at once.
+
+        A user function may expose a row-batched variant as a ``batched``
+        attribute: ``batched(values_2d, mask_2d)`` receives all the run's
+        chunks as rows of shape ``(n_chunks, samples_per_chunk)`` and must
+        return exactly what calling the scalar function per row would (the
+        kernels in :mod:`repro.ops.kernels` guarantee this by delegating any
+        row the batched math cannot reproduce bit-for-bit to the scalar
+        kernel).  Without one, the ordinary chunk loop already handles a run
+        buffer — its chunk sequence over the run is exactly the serial
+        executor's chunk sequence over the constituent windows, because
+        ``dimension_constraint`` makes every window a whole number of chunks.
+        """
+        batched = getattr(self.function, "batched", None)
+        if batched is None:
+            self.compute(output, inputs, state)
+            return
+        source = inputs[0]
+        source.trace_read()
+        samples_per_chunk = self.window // source.period
+        n_chunks = source.capacity // samples_per_chunk
+        values = source.values.reshape(n_chunks, samples_per_chunk)
+        mask = source.bitvector.reshape(n_chunks, samples_per_chunk)
+        out_values = output.values.reshape(n_chunks, samples_per_chunk)
+        with np.errstate(all="ignore"):
+            if getattr(batched, "accepts_out", False):
+                # The kernel writes its result straight into the output
+                # column, saving a whole-run copy.
+                result = batched(values, mask, out=out_values)
+            else:
+                result = batched(values, mask)
+        if isinstance(result, tuple):
+            new_values, new_mask = result
+            if new_values is not out_values:
+                output.values[:] = np.asarray(new_values).reshape(-1)
+            output.bitvector[:] = np.asarray(new_mask).reshape(-1)
+        else:
+            if result is not out_values:
+                output.values[:] = np.asarray(result).reshape(-1)
+            output.bitvector[:] = source.bitvector
+        output.durations[:] = source.durations
+        output.trace_write()

@@ -5,12 +5,15 @@ from repro.core.runtime.backends import (
     ExecutionBackend,
     MultiprocessBackend,
     SerialBackend,
+    VectorizedBackend,
     plan_batch_safe,
     plan_warmup_windows,
+    recommend_backend,
 )
 from repro.core.runtime.executor import eager_window_count, execute_plan, run_window_loop
 from repro.core.runtime.result import ExecutionStats, StreamResult
 from repro.core.runtime.session import StreamingSession, TickStats
+from repro.core.runtime.vectorized import runs_for_coverage, runs_for_starts
 
 __all__ = [
     "execute_plan",
@@ -24,6 +27,10 @@ __all__ = [
     "SerialBackend",
     "BatchedBackend",
     "MultiprocessBackend",
+    "VectorizedBackend",
     "plan_batch_safe",
     "plan_warmup_windows",
+    "recommend_backend",
+    "runs_for_coverage",
+    "runs_for_starts",
 ]

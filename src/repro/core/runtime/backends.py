@@ -10,7 +10,12 @@ A backend decides *how* a compiled plan's window loop is driven:
   ``batch_windows`` windows at a time;
 * :class:`MultiprocessBackend` — shards disjoint output-window ranges
   across worker processes and merges the per-shard ``StreamResult``s,
-  giving real multi-core execution for the Figure 10(c) study.
+  giving real multi-core execution for the Figure 10(c) study;
+* :class:`VectorizedBackend` — lowers the targeted coverage to maximal
+  runs of consecutive windows and executes each operator as a single
+  NumPy array program over one contiguous run buffer per stream
+  (:mod:`~repro.core.runtime.vectorized`), falling back per node to the
+  window-by-window semantics where lowering is not exact.
 
 All backends produce bit-identical :class:`~repro.core.runtime.result.StreamResult`
 event columns for the same plan; the parity suite in
@@ -31,10 +36,17 @@ from repro.core.graph import OperatorNode, topological_order
 from repro.core.runtime.executor import (
     _window_starts,
     build_stats,
+    collect_sink_window,
     eager_window_count,
     run_window_loop,
 )
 from repro.core.runtime.result import StreamResult
+from repro.core.runtime.vectorized import (
+    DEFAULT_MAX_RUN_WINDOWS,
+    RunExecutor,
+    plan_vector_info,
+    runs_for_starts,
+)
 from repro.errors import ExecutionError
 
 
@@ -61,6 +73,42 @@ class ExecutionBackend:
         raise ``NotImplementedError``.
         """
         return plan
+
+    def session_execution_mode(self, plan: CompiledPlan, session_plan: CompiledPlan) -> str:
+        """Honest execution-mode label for a session driven through this backend.
+
+        The default follows :meth:`session_plan`'s contract: a backend that
+        handed back the original plan is driving it one window at a time
+        (serial semantics), whatever its name; one that substituted its own
+        plan (the batched twin) actually runs in its mode.  Backends whose
+        per-tick strategy differs from their ``session_plan`` identity
+        (vectorized run execution) override this.
+        """
+        return "serial" if session_plan is plan else self.name
+
+    def session_tick(
+        self,
+        plan: CompiledPlan,
+        starts,
+        times: list,
+        values: list,
+        durations: list,
+    ) -> tuple[int, bool]:
+        """Execute one session tick's ready window *starts* on *plan*.
+
+        Appends the emitted events to the columnar accumulators and returns
+        ``(events_emitted, fell_back)`` where ``fell_back`` reports whether
+        any node executed below this backend's nominal mode (used to demote
+        the session's ``execution_mode`` label).  The default drives the
+        plan's own sink one window at a time — the serial semantics every
+        ``session_plan`` result supports.
+        """
+        sink = plan.sink
+        events = 0
+        for start in starts:
+            sink.fill(start)
+            events += collect_sink_window(sink, times, values, durations)
+        return events, False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
@@ -314,3 +362,129 @@ class MultiprocessBackend(ExecutionBackend):
         stats.per_node_windows = per_node
         stats.windows_computed = sum(per_node.values())
         return StreamResult(times, values, durations, stats=stats)
+
+
+class VectorizedBackend(ExecutionBackend):
+    """Execute maximal runs of consecutive windows as NumPy array programs.
+
+    The targeted coverage is converted to runs of consecutive windows
+    (:func:`~repro.core.runtime.vectorized.runs_for_starts`); each run is
+    pulled through the graph once, with every stream materialised in one
+    contiguous run buffer and every lowerable operator executing the whole
+    run per :meth:`~repro.core.operators.base.Operator.compute_run` call.
+    Unlike the batched backend this needs no widened twin plan (no second
+    compilation, and the run length adapts to the coverage instead of being
+    fixed), and unlowerable operators degrade *per node* to bit-identical
+    window-by-window execution instead of failing the whole plan over to
+    serial.
+
+    Plans where run execution is unsound (mixed dimensions, time-scaling
+    operators) or useless (no operator lowers) run on the serial backend and
+    honestly report ``execution_mode == "serial"``; runs with any per-node
+    fallback report ``"vectorized+serial-fallback"``.  Cache-tracing plans
+    always run serially — the tracer models per-window buffer touches.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, max_run_windows: int = DEFAULT_MAX_RUN_WINDOWS):
+        if max_run_windows < 1:
+            raise ExecutionError(f"max_run_windows must be positive, got {max_run_windows}")
+        self.max_run_windows = int(max_run_windows)
+
+    def _active(self, plan: CompiledPlan) -> bool:
+        return plan.tracer is None and plan_vector_info(plan).worthwhile
+
+    def execute(
+        self, plan: CompiledPlan, targeted: bool = True, collect: bool = True
+    ) -> StreamResult:
+        if not self._active(plan):
+            return SerialBackend().execute(plan, targeted=targeted, collect=collect)
+        starts = _window_starts(plan, targeted)
+        runs = runs_for_starts(starts, plan.sink.dimension, self.max_run_windows)
+        for node in topological_order(plan.sink):
+            node.reset()
+        # Run buffers are reused across executions of the same plan (the pool
+        # is keyed by run length, and repeated executions see the same run
+        # geometry), keeping the steady state allocation-free.
+        executor = plan.__dict__.get("_run_executor")
+        if executor is None:
+            executor = plan.__dict__["_run_executor"] = RunExecutor(plan)
+        executor.fallback_nodes.clear()
+
+        collected_times: list[np.ndarray] = []
+        collected_values: list[np.ndarray] = []
+        collected_durations: list[np.ndarray] = []
+        began = time.perf_counter()
+        for start, count in runs:
+            executor.execute_run(
+                start, count, collect, collected_times, collected_values, collected_durations
+            )
+        elapsed = time.perf_counter() - began
+
+        if collected_times:
+            times = np.concatenate(collected_times)
+            values = np.concatenate(collected_values)
+            durations = np.concatenate(collected_durations)
+        else:
+            times = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=np.float64)
+            durations = np.empty(0, dtype=np.int64)
+        stats = build_stats(plan, len(starts), int(times.size), elapsed, targeted)
+        stats.execution_mode = (
+            "vectorized+serial-fallback" if executor.fallback_nodes else self.name
+        )
+        # The statically planned per-window FWindows stay allocated (sessions
+        # and other backends share the plan); the run buffers are this
+        # execution's own extra footprint.
+        stats.preallocated_bytes = plan.memory_plan.total_bytes + executor.peak_buffer_bytes
+        return StreamResult(times, values, durations, stats=stats)
+
+    def session_plan(self, plan: CompiledPlan) -> CompiledPlan:
+        # Run execution drives the original plan's state and geometry — each
+        # tick just groups the ready windows into runs — so sessions keep
+        # their compiled plan (and its checkpoints) unchanged.
+        return plan
+
+    def session_execution_mode(self, plan: CompiledPlan, session_plan: CompiledPlan) -> str:
+        return self.name if self._active(session_plan) else "serial"
+
+    def session_tick(
+        self,
+        plan: CompiledPlan,
+        starts,
+        times: list,
+        values: list,
+        durations: list,
+    ) -> tuple[int, bool]:
+        if not self._active(plan):
+            return super().session_tick(plan, starts, times, values, durations)
+        # One executor per session plan, cached on the plan so run buffers
+        # persist across ticks (ticks advance monotonically, like windows).
+        executor = plan.__dict__.get("_run_executor")
+        if executor is None:
+            executor = plan.__dict__["_run_executor"] = RunExecutor(plan)
+        events = 0
+        for start, count in runs_for_starts(starts, plan.sink.dimension, self.max_run_windows):
+            events += executor.execute_run(start, count, True, times, values, durations)
+        return events, bool(executor.fallback_nodes)
+
+
+def recommend_backend(plan: CompiledPlan, targeted: bool = True) -> ExecutionBackend:
+    """Choose an execution backend from the compiled plan's shape.
+
+    The heuristic mirrors what the backends themselves would decide, without
+    running anything: vectorized run execution wins whenever some operator
+    lowers and the targeted coverage forms non-trivial runs (amortising the
+    per-window overhead is the whole point — isolated single-window runs
+    leave nothing to amortise); widening-safe plans that cannot lower any
+    node still benefit from the batched twin; everything else runs serially.
+    """
+    if plan.tracer is None and plan_vector_info(plan).worthwhile:
+        starts = _window_starts(plan, targeted)
+        runs = runs_for_starts(starts, plan.sink.dimension)
+        if runs and len(starts) >= 4 * len(runs):
+            return VectorizedBackend()
+    if plan_batch_safe(plan) and plan.query is not None:
+        return BatchedBackend()
+    return SerialBackend()

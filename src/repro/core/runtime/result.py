@@ -37,10 +37,13 @@ class ExecutionStats:
     elapsed_seconds: float = 0.0
     #: Whether targeted query processing was enabled for this run.
     targeted: bool = True
-    #: How the window loop was actually driven: ``"serial"``, ``"batched"``
-    #: or ``"multiprocess"``.  Backends that silently fall back (a batched
-    #: run of a non-batch-safe plan, a multiprocess run without fork or with
-    #: too few windows) report the mode that really executed, not the one
+    #: How the window loop was actually driven: ``"serial"``, ``"batched"``,
+    #: ``"multiprocess"``, ``"vectorized"`` or — when the vectorized backend
+    #: lowered some nodes to whole-run kernels but drove others window by
+    #: window — ``"vectorized+serial-fallback"``.  Backends that silently
+    #: fall back (a batched run of a non-batch-safe plan, a multiprocess run
+    #: without fork or with too few windows, a vectorized run of a plan with
+    #: nothing to lower) report the mode that really executed, not the one
     #: that was requested.
     execution_mode: str = "serial"
     #: Per-node window counts, keyed by node name.

@@ -116,16 +116,19 @@ class StreamingSession:
     ) -> None:
         self._compiled = compiled
         use_backend = compiled.backend if backend is None else backend
+        self._backend = use_backend
         self._backend_name = getattr(use_backend, "name", "serial")
         self._plan = (
             compiled.plan if use_backend is None else use_backend.session_plan(compiled.plan)
         )
         # The mode that really drives the ticks: a batched backend whose plan
         # is not batch-safe hands back the original plan and the session runs
-        # it one window at a time — the stats must say "serial", not "batched".
+        # it one window at a time — the stats must say "serial", not
+        # "batched"; the vectorized backend keeps the original plan but runs
+        # its ticks as window runs.  Each backend knows which case applies.
         self._execution_mode = (
-            self._backend_name
-            if use_backend is not None and self._plan is not compiled.plan
+            use_backend.session_execution_mode(compiled.plan, self._plan)
+            if use_backend is not None
             else "serial"
         )
         self._targeted = compiled.targeted if targeted is None else targeted
@@ -150,6 +153,10 @@ class StreamingSession:
         try:
             for node in self._nodes:
                 node.reset()
+            # A previous session on this plan may have cached a run executor
+            # (vectorized ticks); its buffers sit at that session's frontier
+            # and would reject this session's earlier windows.
+            self._plan.__dict__.pop("_run_executor", None)
             if checkpoint is not None:
                 self._apply_checkpoint(checkpoint)
         except BaseException:
@@ -267,14 +274,25 @@ class StreamingSession:
                 break
         planned = time.perf_counter()
 
-        sink = self._plan.sink
-        events = 0
-        for start in ready:
-            sink.fill(start)
-            events += collect_sink_window(
-                sink, self._collected_times, self._collected_values,
+        if self._backend is not None:
+            events, fell_back = self._backend.session_tick(
+                self._plan,
+                ready,
+                self._collected_times,
+                self._collected_values,
                 self._collected_durations,
             )
+            if fell_back and not self._execution_mode.endswith("+serial-fallback"):
+                self._execution_mode = f"{self._execution_mode}+serial-fallback"
+        else:
+            sink = self._plan.sink
+            events = 0
+            for start in ready:
+                sink.fill(start)
+                events += collect_sink_window(
+                    sink, self._collected_times, self._collected_values,
+                    self._collected_durations,
+                )
         executed = time.perf_counter()
 
         if ready:

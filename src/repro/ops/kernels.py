@@ -6,6 +6,16 @@ and a factory that closes over the operation's parameters.  The same
 kernels are reused by the Trill-baseline pipelines (wrapped in
 ``TrillWindowTransform``) so that both engines execute the identical
 numerical work and only the engine architecture differs.
+
+Kernels that can process many windows in one NumPy call additionally carry a
+``batched`` attribute: ``kernel.batched(values_2d, mask_2d)`` receives one
+row per window (shape ``(n_windows, samples_per_window)``) and returns what
+calling the scalar kernel row-by-row would.  The vectorized execution
+backend dispatches these through ``Transform.compute_run`` to amortise the
+per-call NumPy overhead that dominates the serial profile.  Batched variants
+must stay **bit-identical** to the scalar kernel; where the batched math
+cannot reproduce a row exactly (partially-present rows whose reductions run
+over a compacted subset), the row is delegated to the scalar kernel.
 """
 
 from __future__ import annotations
@@ -29,6 +39,64 @@ def zscore_kernel() -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.n
             return np.zeros_like(values), present
         return (values - mean) / std, present
 
+    scratch: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+    def _normalize_rows(rows: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        # Fully-present rows: `values[present]` is the whole row, so the
+        # row-wise mean/std reduce the very same contiguous operands in the
+        # same order as the scalar kernel — bit-identical.  The reductions
+        # are issued as raw ``np.add.reduce`` (the ufunc ``np.mean``/
+        # ``np.std`` bottom out in, with the same pairwise summation), and
+        # the std is spelled out so the centered operand feeds the
+        # normalisation directly instead of being recomputed.  The two
+        # whole-run temporaries are recycled per shape (runs alternate
+        # between a handful of lengths, so this stays bounded).
+        samples = rows.shape[1]
+        buffers = scratch.get(rows.shape)
+        if buffers is None:
+            buffers = scratch[rows.shape] = (np.empty_like(rows), np.empty_like(rows))
+        centered, squared = buffers
+        means = np.add.reduce(rows, axis=1) / samples
+        np.subtract(rows, means[:, None], out=centered)
+        np.multiply(centered, centered, out=squared)
+        stds = np.sqrt(np.add.reduce(squared, axis=1) / samples)
+        if bool(stds.all()):
+            # No zero-variance rows (the overwhelmingly common case).
+            return np.divide(centered, stds[:, None], out=out)
+        flat = stds == 0.0
+        safe = np.where(flat, 1.0, stds)
+        normed = np.divide(centered, safe[:, None], out=out)
+        normed[flat] = 0.0
+        return normed
+
+    def batched(
+        rows: np.ndarray, mask: np.ndarray, out: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        full = np.logical_and.reduce(mask, axis=1)
+        # Normalise every row as if fully present (row-wise math is
+        # row-independent, so full rows are unaffected by the extras), then
+        # overwrite the partially-present rows with the scalar kernel's
+        # math — their reductions run over the compacted subset, which 2-D
+        # math cannot reproduce bit-identically.
+        new_values = _normalize_rows(rows, out)
+        if not bool(full.all()):
+            for row in np.flatnonzero(~full):
+                present = mask[row]
+                if not present.any():
+                    new_values[row] = rows[row]
+                    continue
+                observed = rows[row][present]
+                mean = np.add.reduce(observed) / observed.size
+                deviations = observed - mean
+                std = np.sqrt(np.add.reduce(deviations * deviations) / observed.size)
+                if std == 0.0:
+                    new_values[row] = 0.0
+                else:
+                    new_values[row] = (rows[row] - mean) / std
+        return new_values, mask
+
+    batched.accepts_out = True
+    kernel.batched = batched
     return kernel
 
 
@@ -51,12 +119,12 @@ def fill_const_kernel(
 ) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
     """Fill absent runs of at most *max_gap_samples* with a constant (FillConst)."""
 
-    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        new_values, new_present = _fill_gaps(
-            values, present, max_gap_samples, lambda left, right: constant
-        )
-        return new_values, new_present
+    fill = lambda left, right: constant  # noqa: E731 - tiny closure shared below
 
+    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return _fill_gaps(values, present, max_gap_samples, fill)
+
+    kernel.batched = _make_fill_batched(max_gap_samples, fill)
     return kernel
 
 
@@ -65,9 +133,12 @@ def fill_mean_kernel(
 ) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
     """Fill absent runs with the mean of the surrounding present values (FillMean)."""
 
-    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        return _fill_gaps(values, present, max_gap_samples, lambda left, right: 0.5 * (left + right))
+    fill = lambda left, right: 0.5 * (left + right)  # noqa: E731
 
+    def kernel(values: np.ndarray, present: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return _fill_gaps(values, present, max_gap_samples, fill)
+
+    kernel.batched = _make_fill_batched(max_gap_samples, fill)
     return kernel
 
 
@@ -95,6 +166,66 @@ def _fill_gaps(
         new_values[start:end] = fill
         new_present[start:end] = True
     return new_values, new_present
+
+
+def _make_fill_batched(
+    max_gap_samples: int, fill_value_fn: Callable[[float, float], float]
+) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Row-batched gap filling as pure 2-D array arithmetic.
+
+    For every absent slot, running maxima locate the nearest present sample
+    on each side *within its row*; interior gaps no longer than the limit
+    are filled from those two neighbours.  Each filled slot computes
+    ``fill_value_fn`` on exactly the two doubles the scalar :func:`_fill_gaps`
+    would pass for its gap, so results are bit-identical row for row.
+    """
+
+    def batched(
+        rows: np.ndarray, mask: np.ndarray, out: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        gappy = ~np.logical_and.reduce(mask, axis=1)
+        if not gappy.any():
+            # Nothing to fill: the inputs are returned as-is (callers treat
+            # kernel results as read-only and copy them into the output).
+            return rows, mask
+        if out is None:
+            new_values = rows.copy()
+        else:
+            np.copyto(out, rows)
+            new_values = out
+        new_mask = mask.copy()
+        # Only rows containing at least one absent slot need the running-max
+        # scans; in typical streams that is a small fraction of the run.
+        sub_rows = rows[gappy]
+        sub_mask = mask[gappy]
+        if not sub_mask.any():
+            return new_values, new_mask
+        samples = rows.shape[1]
+        columns = np.arange(samples)
+        # Index of the nearest present sample at-or-before / at-or-after each
+        # slot (-1 / `samples` when none exists on that side).
+        before = np.maximum.accumulate(np.where(sub_mask, columns, -1), axis=1)
+        reversed_mask = sub_mask[:, ::-1]
+        after_rev = np.maximum.accumulate(np.where(reversed_mask, columns, -1), axis=1)
+        after = (samples - 1) - after_rev[:, ::-1]
+        fillable = (
+            ~sub_mask
+            & (before >= 0)
+            & (after < samples)
+            & (after - before - 1 <= max_gap_samples)
+        )
+        if fillable.any():
+            gappy_indices = np.flatnonzero(gappy)
+            fill_rows, fill_cols = np.nonzero(fillable)
+            left = sub_rows[fill_rows, before[fill_rows, fill_cols]]
+            right = sub_rows[fill_rows, after[fill_rows, fill_cols]]
+            out_rows = gappy_indices[fill_rows]
+            new_values[out_rows, fill_cols] = fill_value_fn(left, right)
+            new_mask[out_rows, fill_cols] = True
+        return new_values, new_mask
+
+    batched.accepts_out = True
+    return batched
 
 
 def interpolate_gaps_kernel(
@@ -129,4 +260,6 @@ def clamp_kernel(
         keep = present & (values >= low) & (values <= high)
         return values, keep
 
+    # The expression is purely element-wise, so it is its own batched form.
+    kernel.batched = kernel
     return kernel

@@ -1,8 +1,39 @@
-"""Shared result type for the end-to-end pipelines."""
+"""Shared result type and backend selection for the end-to-end pipelines."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+#: Execution-backend names accepted by the pipeline CLIs.
+BACKEND_NAMES = ("serial", "batched", "multiprocess", "vectorized")
+
+
+def backend_from_name(name: str, *, batch_windows: int = 16, n_workers: int = 2):
+    """Build the execution backend the CLI flag *name* selects.
+
+    ``"serial"`` returns ``None`` (the engine default) so callers can pass
+    the result straight to :class:`~repro.core.engine.LifeStreamEngine`.
+    The special name ``"auto"`` is resolved per-plan by the callers that
+    support it (via :func:`~repro.core.runtime.backends.recommend_backend`)
+    and is deliberately rejected here.
+    """
+    from repro.core.runtime.backends import (
+        BatchedBackend,
+        MultiprocessBackend,
+        VectorizedBackend,
+    )
+
+    if name == "serial":
+        return None
+    if name == "batched":
+        return BatchedBackend(batch_windows=batch_windows)
+    if name == "multiprocess":
+        return MultiprocessBackend(n_workers=n_workers)
+    if name == "vectorized":
+        return VectorizedBackend()
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
 
 
 @dataclass

@@ -77,24 +77,37 @@ def run_lifestream_e2e(
 
     ``backend`` selects the execution backend (serial when None) and
     ``optimization_level`` the compiler pipeline's rewriting passes — the
-    knobs the backend-comparison and multi-core benchmarks sweep.
+    knobs the backend-comparison and multi-core benchmarks sweep.  A string
+    backend is resolved by name (the CLI path); ``"auto"`` defers the choice
+    to :func:`~repro.core.runtime.backends.recommend_backend` once the
+    compiled plan's window geometry is known.
     """
     from repro.core.sources import ArraySource
+    from repro.pipelines.common import backend_from_name
 
+    auto_backend = backend == "auto"
+    if isinstance(backend, str) and not auto_backend:
+        backend = backend_from_name(backend)
     ecg_source = ArraySource(ecg[0], ecg[1], period=period_from_hz(ECG_HZ))
     abp_source = ArraySource(abp[0], abp[1], period=period_from_hz(ABP_HZ))
     engine = LifeStreamEngine(
         window_size=window_size,
         targeted=targeted,
         tracer=tracer,
-        backend=backend,
+        backend=None if auto_backend else backend,
         optimization_level=optimization_level,
     )
     query = lifestream_e2e_query(fill_gap=fill_gap, normalize_window=normalize_window)
 
     began = time.perf_counter()
     compiled = engine.compile(query, sources={"ecg": ecg_source, "abp": abp_source})
-    result = compiled.run()
+    if auto_backend:
+        from repro.core.runtime.backends import recommend_backend
+
+        backend = recommend_backend(compiled.plan, targeted=targeted)
+        result = compiled.run(backend=backend)
+    else:
+        result = compiled.run()
     elapsed = time.perf_counter() - began
     backend_label = getattr(backend, "name", "serial")
     if backend_label == "batched":
@@ -105,6 +118,14 @@ def run_lifestream_e2e(
         # honest numbers.
         if not plan_batch_safe(compiled.plan):
             backend_label = "serial (batched fallback)"
+    elif backend_label == "vectorized":
+        # Same honesty for the vectorized backend, whose execution mode
+        # already reports what actually ran (including partial fallback).
+        backend_label = result.stats.execution_mode
+        if backend_label == "serial":
+            backend_label = "serial (vectorized fallback)"
+    if auto_backend:
+        backend_label = f"{backend_label} (auto)"
     return PipelineRun(
         engine="lifestream",
         elapsed_seconds=elapsed,
@@ -228,3 +249,50 @@ def run_e2e(
     if engine == "numlib":
         return run_numlib_e2e(ecg, abp, **kwargs)
     raise ValueError(f"unknown engine {engine!r}; expected one of {E2E_ENGINES}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Run the Figure 3 pipeline once from the command line and print stats."""
+    import argparse
+
+    from repro.bench.workloads import e2e_dataset
+    from repro.pipelines.common import BACKEND_NAMES
+
+    parser = argparse.ArgumentParser(
+        description="Run the Figure 3 ECG+ABP pipeline on one engine."
+    )
+    parser.add_argument("--engine", choices=E2E_ENGINES, default="lifestream")
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES + ("auto",),
+        default="serial",
+        help="LifeStream execution backend (auto picks per-plan; "
+        "ignored by the baseline engines)",
+    )
+    parser.add_argument("--duration", type=float, default=60.0, metavar="SECONDS")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window-size", type=int, default=TICKS_PER_MINUTE)
+    parser.add_argument(
+        "--eager", action="store_true", help="run eagerly instead of targeted"
+    )
+    args = parser.parse_args(argv)
+
+    ecg, abp = e2e_dataset(duration_seconds=args.duration, seed=args.seed)
+    kwargs = {}
+    if args.engine == "lifestream":
+        kwargs = {
+            "backend": args.backend,
+            "window_size": args.window_size,
+            "targeted": not args.eager,
+        }
+    run = run_e2e(args.engine, ecg, abp, **kwargs)
+    print(
+        f"engine={run.engine}  backend={run.extra.get('backend', 'n/a')}  "
+        f"elapsed={run.elapsed_seconds * 1e3:.1f} ms  "
+        f"ingested={run.events_ingested}  emitted={run.events_emitted}  "
+        f"throughput={run.throughput_events_per_second / 1e6:.2f} M events/s"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

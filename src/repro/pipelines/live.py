@@ -77,6 +77,10 @@ def replay_e2e_live(
     and the report records whether the incremental results were
     bit-identical — the session-loop guarantee the parity suite asserts.
     """
+    if isinstance(backend, str):
+        from repro.pipelines.common import backend_from_name
+
+        backend = backend_from_name(backend)
     ecg_period = period_from_hz(ECG_HZ)
     abp_period = period_from_hz(ABP_HZ)
     query = lifestream_e2e_query(resample_mode=resample_mode)
@@ -122,12 +126,27 @@ def replay_e2e_live(
     return report
 
 
-def main() -> None:  # pragma: no cover - demo script
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - demo script
     """Replay 30 seconds of synthetic ECG+ABP and print the tick trace."""
-    from repro.bench.workloads import e2e_dataset
+    import argparse
 
-    ecg, abp = e2e_dataset(duration_seconds=30.0, seed=30)
-    report = replay_e2e_live(ecg, abp)
+    from repro.bench.workloads import e2e_dataset
+    from repro.pipelines.common import BACKEND_NAMES
+
+    parser = argparse.ArgumentParser(
+        description="Replay the Figure 3 workload tick-by-tick."
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="serial",
+        help="execution backend driving the streaming session",
+    )
+    parser.add_argument("--duration", type=float, default=30.0, metavar="SECONDS")
+    args = parser.parse_args(argv)
+
+    ecg, abp = e2e_dataset(duration_seconds=args.duration, seed=30)
+    report = replay_e2e_live(ecg, abp, backend=args.backend)
     print(f"backend={report.backend}  ticks={len(report.ticks)}  "
           f"events={report.events_emitted}  parity={report.parity}")
     print(f"{'tick':>4} {'watermark':>10} {'windows':>8} {'deferred':>9} "

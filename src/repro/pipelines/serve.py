@@ -81,13 +81,20 @@ def serve_cohort(
     tick: int = TICKS_PER_SECOND,
     window_size: int = TICKS_PER_SECOND,
     n_workers: int = 1,
+    backend=None,
 ) -> CohortServeReport:
     """Serve *n_patients* synthetic patients through one service.
 
     One ``pump`` per watermark ticks the whole cohort; the report
     aggregates the per-pump work and the plan-cache accounting.  With
     ``n_workers > 1`` the cohort is sharded across forked processes.
+    ``backend`` (an instance or a CLI name) selects the execution backend
+    every session in the cohort runs on.
     """
+    if isinstance(backend, str):
+        from repro.pipelines.common import backend_from_name
+
+        backend = backend_from_name(backend)
     end = int(duration_seconds * TICKS_PER_SECOND)
     watermarks = list(range(tick, end + 2 * tick, tick))
     report = CohortServeReport(n_patients=n_patients, n_pumps=len(watermarks))
@@ -111,7 +118,9 @@ def serve_cohort(
         report.session_seconds += drained.elapsed_seconds
 
     if n_workers > 1:
-        service = ShardedStreamingService(n_workers=n_workers, window_size=window_size)
+        service = ShardedStreamingService(
+            n_workers=n_workers, window_size=window_size, backend=backend
+        )
         for seed in range(n_patients):
             service.register(f"patient-{seed:03d}", cohort_query(), patient_sources(seed))
         service.start()
@@ -128,7 +137,7 @@ def serve_cohort(
         service.close()
         return report
 
-    with StreamingService(window_size=window_size) as service:
+    with StreamingService(window_size=window_size, backend=backend) as service:
         for seed in range(n_patients):
             service.open(f"patient-{seed:03d}", cohort_query(), patient_sources(seed))
         drive(service)
@@ -137,10 +146,28 @@ def serve_cohort(
     return report
 
 
-def main() -> None:  # pragma: no cover - demo script
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - demo script
     """Serve a 12-patient cohort in-process, then sharded across 2 workers."""
+    import argparse
+
+    from repro.pipelines.common import BACKEND_NAMES
+
+    parser = argparse.ArgumentParser(
+        description="Serve a synthetic patient cohort through one service."
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="serial",
+        help="execution backend every cohort session runs on",
+    )
+    parser.add_argument("--patients", type=int, default=12)
+    args = parser.parse_args(argv)
+
     for n_workers in (1, 2):
-        report = serve_cohort(n_patients=12, n_workers=n_workers)
+        report = serve_cohort(
+            n_patients=args.patients, n_workers=n_workers, backend=args.backend
+        )
         print(
             f"\nmode={report.execution_mode}  patients={report.n_patients}  "
             f"compiles={report.compiles}  cache hits={report.cache_hits}"

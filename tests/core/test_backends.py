@@ -1,8 +1,9 @@
 """Parity suite for the execution backends and operator fusion.
 
-Asserts that fused vs. unfused plans, and all three execution backends
-(serial, batched, multiprocess), produce bit-identical StreamResults across
-operator-chain queries in both targeted and eager modes."""
+Asserts that fused vs. unfused plans, and all four execution backends
+(serial, batched, multiprocess, vectorized), produce bit-identical
+StreamResults across operator-chain queries in both targeted and eager
+modes."""
 
 import numpy as np
 import pytest
@@ -13,6 +14,7 @@ from repro.core.runtime import (
     BatchedBackend,
     MultiprocessBackend,
     SerialBackend,
+    VectorizedBackend,
     plan_batch_safe,
     plan_warmup_windows,
 )
@@ -75,6 +77,9 @@ BACKENDS = {
     "batched-16": lambda: BatchedBackend(batch_windows=16),
     "multiprocess-2": lambda: MultiprocessBackend(n_workers=2),
     "multiprocess-3": lambda: MultiprocessBackend(n_workers=3),
+    "vectorized": lambda: VectorizedBackend(),
+    # Tiny run cap: every run is split, exercising run-boundary state carry.
+    "vectorized-small-runs": lambda: VectorizedBackend(max_run_windows=3),
 }
 
 
@@ -196,6 +201,8 @@ class TestBackendParity:
             BatchedBackend(batch_windows=0)
         with pytest.raises(ExecutionError):
             MultiprocessBackend(n_workers=0)
+        with pytest.raises(ExecutionError):
+            VectorizedBackend(max_run_windows=0)
 
     def test_collect_false_supported_by_all_backends(self):
         source = _gappy_source()
@@ -320,6 +327,65 @@ class TestExecutionModeHonesty:
         session.close()
         # Non-batch-safe plan: the session drives the original plan serially.
         query = Query.source("s", frequency_hz=500).alter_period(1, mode="interpolate")
+        session = engine.open_session(query, {"s": ReplaySource(_gappy_source())})
+        session.finish()
+        assert session.result().stats.execution_mode == "serial"
+        session.close()
+
+    def test_vectorized_reports_vectorized_when_fully_lowered(self):
+        engine = LifeStreamEngine(window_size=1000, backend=VectorizedBackend())
+        result = engine.run(CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()})
+        assert result.stats.execution_mode == "vectorized"
+
+    def test_vectorized_partial_fallback_reports_mixed_mode(self):
+        # ClipJoin has no whole-run kernel, but the Select/Where stages do:
+        # the run executor lowers what it can and drops only the join node
+        # to window-by-window execution, and the stats must say so.
+        query = Query.source("s", frequency_hz=500).multicast(
+            lambda s: s.select(lambda v: v * 2).clip_join(
+                s.where(lambda v: v > 0), lambda a, b: a + b
+            )
+        )
+        engine = LifeStreamEngine(window_size=1000, backend=VectorizedBackend())
+        result = engine.run(query, {"s": _gappy_source()})
+        assert result.stats.execution_mode == "vectorized+serial-fallback"
+        reference = LifeStreamEngine(window_size=1000).run(query, {"s": _gappy_source()})
+        _assert_identical(reference, result, "partial fallback parity")
+
+    def test_vectorized_worthless_plan_reports_serial(self):
+        # Every operator refuses to lower: run execution would be pure
+        # overhead, so the backend runs (and reports) serial.
+        query = Query.source("s", frequency_hz=500).multicast(
+            lambda s: s.clip_join(s, lambda a, b: a + b)
+        )
+        engine = LifeStreamEngine(window_size=1000, backend=VectorizedBackend())
+        result = engine.run(query, {"s": _gappy_source()})
+        assert result.stats.execution_mode == "serial"
+
+    def test_vectorized_with_tracer_reports_serial(self):
+        from repro.memsim.tracer import AccessTracer
+
+        tracer = AccessTracer()
+        engine = LifeStreamEngine(
+            window_size=1000, backend=VectorizedBackend(), tracer=tracer
+        )
+        result = engine.run(CHAIN_QUERIES["elementwise"](), {"s": _gappy_source()})
+        assert result.stats.execution_mode == "serial"
+
+    def test_vectorized_session_reports_mode(self):
+        from repro.core.sources import ReplaySource
+
+        engine = LifeStreamEngine(window_size=1000, backend=VectorizedBackend())
+        session = engine.open_session(
+            CHAIN_QUERIES["elementwise"](), {"s": ReplaySource(_gappy_source())}
+        )
+        session.finish()
+        assert session.result().stats.execution_mode == "vectorized"
+        session.close()
+        # A plan with nothing to lower runs its session ticks serially.
+        query = Query.source("s", frequency_hz=500).multicast(
+            lambda s: s.clip_join(s, lambda a, b: a + b)
+        )
         session = engine.open_session(query, {"s": ReplaySource(_gappy_source())})
         session.finish()
         assert session.result().stats.execution_mode == "serial"

@@ -1,0 +1,202 @@
+"""Regression tests for the shared operator helpers in ``operators.base``.
+
+``sample_active`` and ``masked_reduce`` grew vectorized fast paths (pure
+index arithmetic on one-period-per-event windows; no-``np.where`` dense
+reductions).  These tests pin both against straightforward reference
+implementations — the outputs must be bit-identical on every geometry,
+fast path or not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.event import StreamDescriptor
+from repro.core.fwindow import FWindow
+from repro.core.operators.base import masked_reduce, sample_active
+
+
+def reference_sample_active(out_times, source, carry):
+    """The pre-optimisation sampling semantics, concatenates and all."""
+    out_times = np.asarray(out_times, dtype=np.int64)
+    times = source.present_times()
+    values = source.present_values()
+    durations = source.present_durations()
+    if carry is not None:
+        carry_time, carry_value, carry_duration = carry
+        if carry_time + carry_duration > source.sync_time and (
+            times.size == 0 or carry_time < times[0]
+        ):
+            times = np.concatenate([[carry_time], times])
+            values = np.concatenate([[carry_value], values])
+            durations = np.concatenate([[carry_duration], durations])
+    if times.size == 0:
+        return np.zeros(out_times.shape, dtype=bool), np.zeros(out_times.shape), carry
+    indices = np.searchsorted(times, out_times, side="right") - 1
+    clipped = np.clip(indices, 0, times.size - 1)
+    active = (indices >= 0) & (times[clipped] + durations[clipped] > out_times)
+    sampled = values[clipped]
+    new_carry = (int(times[-1]), float(values[-1]), int(durations[-1]))
+    return active, sampled, new_carry
+
+
+def _window(period, capacity_ticks, sync_time, events):
+    window = FWindow(
+        StreamDescriptor(offset=0, period=period),
+        capacity_ticks,
+        name="test",
+        monotonic=False,
+    )
+    window.slide_to(sync_time)
+    if events:
+        times, values, durations = map(np.asarray, zip(*events))
+        window.set_events(
+            times.astype(np.int64),
+            values.astype(np.float64),
+            durations.astype(np.int64),
+        )
+    return window
+
+
+def _assert_matches_reference(out_times, window, carry):
+    active, sampled, new_carry = sample_active(out_times, window, carry)
+    ref_active, ref_sampled, ref_carry = reference_sample_active(
+        out_times, window, carry
+    )
+    np.testing.assert_array_equal(active, ref_active)
+    # Slots without an active event hold unspecified payloads; only the
+    # active ones are part of the contract.
+    np.testing.assert_array_equal(sampled[active], ref_sampled[ref_active])
+    assert new_carry == ref_carry
+
+
+class TestSampleActive:
+    def test_uniform_durations_fast_path(self):
+        # Every event lives exactly one period: the arithmetic fast path.
+        events = [(1000 + 10 * k, float(k), 10) for k in range(10) if k not in (3, 7)]
+        window = _window(10, 100, 1000, events)
+        out_times = np.arange(1000, 1100, 10)
+        _assert_matches_reference(out_times, window, None)
+
+    def test_fast_path_with_live_carry(self):
+        events = [(1000 + 10 * k, float(k), 10) for k in range(2, 10)]
+        window = _window(10, 100, 1000, events)
+        # Sampling grid reaches before the window; the carried event (still
+        # alive, duration 40 from t=990) covers those slots.
+        out_times = np.arange(980, 1100, 10)
+        _assert_matches_reference(out_times, window, (990, 42.0, 40))
+
+    def test_fast_path_with_dead_carry(self):
+        events = [(1000 + 10 * k, float(k), 10) for k in range(10)]
+        window = _window(10, 100, 1000, events)
+        out_times = np.arange(980, 1100, 10)
+        _assert_matches_reference(out_times, window, (900, 13.0, 20))
+
+    def test_extended_durations_slow_path(self):
+        # Hold-style events outliving their period take the search path.
+        events = [(1000, 1.0, 35), (1040, 2.0, 10), (1070, 3.0, 30)]
+        window = _window(10, 100, 1000, events)
+        out_times = np.arange(1000, 1100, 5)
+        _assert_matches_reference(out_times, window, None)
+
+    def test_slow_path_with_carry(self):
+        events = [(1050, 5.0, 50)]
+        window = _window(10, 100, 1000, events)
+        out_times = np.arange(990, 1100, 10)
+        _assert_matches_reference(out_times, window, (960, 9.0, 70))
+
+    def test_empty_window_keeps_carry(self):
+        window = _window(10, 100, 1000, [])
+        out_times = np.arange(1000, 1100, 10)
+        for carry in (None, (990, 3.0, 25)):
+            _assert_matches_reference(out_times, window, carry)
+
+    def test_randomised_geometries_match_reference(self):
+        rng = np.random.default_rng(42)
+        for trial in range(50):
+            period = int(rng.choice([2, 5, 10]))
+            capacity = 40 * period
+            sync = int(rng.integers(0, 5)) * capacity
+            slots = np.flatnonzero(rng.random(40) < 0.7)
+            extend = bool(rng.random() < 0.5)
+            events = [
+                (
+                    sync + int(s) * period,
+                    float(rng.standard_normal()),
+                    period if not extend else int(rng.integers(1, 4)) * period,
+                )
+                for s in slots
+            ]
+            window = _window(period, capacity, sync, events)
+            out_times = sync + np.sort(
+                rng.choice(np.arange(-3 * period, capacity + period), 30, replace=False)
+            )
+            carry = None
+            if rng.random() < 0.6:
+                carry = (
+                    sync - int(rng.integers(1, 4)) * period,
+                    float(rng.standard_normal()),
+                    int(rng.integers(1, 6)) * period,
+                )
+            _assert_matches_reference(out_times, window, carry)
+
+
+def reference_masked_reduce(values, mask, how):
+    """Row-by-row reduction over only the present samples of each row."""
+    results = np.zeros(values.shape[0])
+    present = mask.any(axis=1)
+    for row in range(values.shape[0]):
+        observed = values[row][mask[row]]
+        if observed.size == 0:
+            continue
+        if how == "count":
+            results[row] = observed.size
+        elif how == "sum":
+            results[row] = observed.sum()
+        elif how == "mean":
+            results[row] = observed.sum() / observed.size
+        elif how == "max":
+            results[row] = observed.max()
+        elif how == "min":
+            results[row] = observed.min()
+        elif how == "first":
+            results[row] = observed[0]
+        elif how == "last":
+            results[row] = observed[-1]
+    return results, present
+
+
+HOWS = ("count", "sum", "mean", "max", "min", "first", "last")
+
+
+class TestMaskedReduce:
+    @pytest.mark.parametrize("how", HOWS)
+    def test_dense_fast_path_matches_rowwise_reference(self, how):
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal((12, 50))
+        mask = np.ones((12, 50), dtype=bool)
+        result, present = masked_reduce(values, mask, how)
+        ref_result, ref_present = reference_masked_reduce(values, mask, how)
+        np.testing.assert_array_equal(present, ref_present)
+        np.testing.assert_allclose(result, ref_result, rtol=1e-12)
+
+    @pytest.mark.parametrize("how", HOWS)
+    def test_gappy_rows_match_rowwise_reference(self, how):
+        rng = np.random.default_rng(8)
+        values = rng.standard_normal((12, 50))
+        mask = rng.random((12, 50)) < 0.6
+        mask[3] = False  # one fully-absent row
+        result, present = masked_reduce(values, mask, how)
+        ref_result, ref_present = reference_masked_reduce(values, mask, how)
+        np.testing.assert_array_equal(present, ref_present)
+        np.testing.assert_allclose(
+            result[present], ref_result[ref_present], rtol=1e-12
+        )
+
+    def test_dense_sum_bit_identical_to_masked_expression(self):
+        # The dense shortcut skips np.where; its operand order must equal
+        # the masked expression's exactly (bit-identity, not approximation).
+        rng = np.random.default_rng(9)
+        values = rng.standard_normal((8, 33))
+        mask = np.ones((8, 33), dtype=bool)
+        dense, _ = masked_reduce(values, mask, "sum")
+        np.testing.assert_array_equal(dense, np.where(mask, values, 0.0).sum(axis=1))

@@ -45,6 +45,7 @@ class TestPassManager:
             "lineage",
             "locality",
             "fuse_elementwise",
+            "vectorize",
             "memory",
         ]
 

@@ -1,0 +1,229 @@
+"""Unit and property tests for run-lowered (vectorized) execution.
+
+Covers the coverage → run conversion (maximal, disjoint, exactly tiling the
+targeted window starts), the zero-copy run-buffer subwindow views, the plan
+analysis that gates lowering, and the streaming-session parity guarantee
+(tick-by-tick vectorized execution is bit-identical to a one-shot serial
+run over the same data).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import LifeStreamEngine
+from repro.core.event import StreamDescriptor
+from repro.core.fwindow import FWindow
+from repro.core.intervals import IntervalSet
+from repro.core.query import Query
+from repro.core.runtime import SerialBackend, VectorizedBackend
+from repro.core.runtime.vectorized import (
+    plan_vector_info,
+    runs_for_coverage,
+    runs_for_starts,
+)
+from repro.core.sources import ArraySource, ReplaySource
+from repro.errors import ExecutionError, MemoryPlanError
+
+# -- strategies -------------------------------------------------------------
+
+intervals_strategy = st.lists(
+    st.tuples(st.integers(0, 2000), st.integers(1, 200)).map(
+        lambda p: (p[0], p[0] + p[1])
+    ),
+    max_size=10,
+)
+
+windows = st.sampled_from([1, 3, 10, 64, 100])
+offsets = st.integers(-50, 50)
+caps = st.one_of(st.none(), st.integers(1, 7))
+
+
+# -- coverage -> runs -------------------------------------------------------
+
+
+class TestRunsForCoverage:
+    @given(intervals_strategy, windows, offsets, caps)
+    @settings(max_examples=200)
+    def test_runs_tile_exactly_the_targeted_starts(self, pairs, window, offset, cap):
+        coverage = IntervalSet(pairs)
+        runs = runs_for_coverage(coverage, window, offset, cap)
+        tiled = [
+            start + k * window for start, count in runs for k in range(count)
+        ]
+        assert tiled == list(coverage.iter_windows(window, offset))
+
+    @given(intervals_strategy, windows, offsets)
+    @settings(max_examples=200)
+    def test_runs_are_maximal_and_disjoint(self, pairs, window, offset):
+        coverage = IntervalSet(pairs)
+        runs = runs_for_coverage(coverage, window, offset)
+        for (start, count), (next_start, _) in zip(runs, runs[1:]):
+            # Disjoint and ordered: the next run starts after this one ends.
+            assert next_start >= start + count * window
+            # Maximal: adjacent runs are never contiguous (a contiguous pair
+            # would have been one run).
+            assert next_start != start + count * window
+
+    @given(intervals_strategy, windows, offsets, st.integers(1, 7))
+    @settings(max_examples=200)
+    def test_capped_runs_respect_the_cap(self, pairs, window, offset, cap):
+        coverage = IntervalSet(pairs)
+        runs = runs_for_coverage(coverage, window, offset, cap)
+        assert all(1 <= count <= cap for _, count in runs)
+        # Only cap-length runs may be followed contiguously (the split).
+        for (start, count), (next_start, _) in zip(runs, runs[1:]):
+            if next_start == start + count * window:
+                assert count == cap
+
+    def test_empty_coverage_yields_no_runs(self):
+        assert runs_for_coverage(IntervalSet(), 100) == []
+
+    def test_known_grouping(self):
+        starts = [0, 100, 200, 500, 600, 900]
+        assert runs_for_starts(starts, 100) == [(0, 3), (500, 2), (900, 1)]
+        assert runs_for_starts(starts, 100, max_run_windows=2) == [
+            (0, 2),
+            (200, 1),
+            (500, 2),
+            (900, 1),
+        ]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ExecutionError):
+            runs_for_starts([0], 0)
+        with pytest.raises(ExecutionError):
+            runs_for_starts([0], 100, max_run_windows=0)
+
+
+# -- run-buffer subwindow views ---------------------------------------------
+
+
+class TestSubwindowViews:
+    def _run_buffer(self, count=4, dim=100, period=10):
+        window = FWindow(
+            StreamDescriptor(offset=0, period=period),
+            dim * count,
+            name="run",
+            monotonic=False,
+        )
+        window.slide_to(1000)
+        return window
+
+    def test_views_alias_the_run_buffer(self):
+        run = self._run_buffer()
+        view = run.subwindow(1, 4)
+        assert view.capacity == run.capacity // 4
+        assert view.sync_time == run.sync_time + 100
+        view.values[:] = 7.0
+        view.bitvector[:] = True
+        lo = view.capacity
+        assert np.all(run.values[lo : 2 * lo] == 7.0)
+        assert np.all(run.bitvector[lo : 2 * lo])
+        # Slots outside the view are untouched.
+        assert not run.bitvector[:lo].any()
+
+    def test_views_cover_the_buffer_without_overlap(self):
+        run = self._run_buffer(count=5)
+        for index in range(5):
+            view = run.subwindow(index, 5)
+            view.values[:] = float(index)
+        assert np.array_equal(
+            run.values.reshape(5, -1)[:, 0], np.arange(5, dtype=float)
+        )
+
+    def test_invalid_splits_rejected(self):
+        run = self._run_buffer(count=4)
+        with pytest.raises(MemoryPlanError):
+            run.subwindow(0, 0)
+        with pytest.raises(MemoryPlanError):
+            run.subwindow(4, 4)
+        with pytest.raises(MemoryPlanError):
+            run.subwindow(0, 3)  # does not divide capacity
+
+
+# -- plan analysis ----------------------------------------------------------
+
+
+def _gappy_source(n=12000, period=2, seed=7):
+    rng = np.random.default_rng(seed)
+    times = np.arange(n, dtype=np.int64) * period
+    keep = np.ones(n, dtype=bool)
+    for start in rng.integers(0, n - 500, size=4):
+        keep[start : start + int(rng.integers(100, 400))] = False
+    values = np.sin(np.arange(n) * 0.01) * 10
+    return ArraySource(times[keep], values[keep], period=period)
+
+
+class TestPlanAnalysis:
+    def test_elementwise_plan_fully_lowers(self):
+        engine = LifeStreamEngine(window_size=1000)
+        compiled = engine.compile(
+            Query.source("s", frequency_hz=500).select(lambda v: v * 2),
+            {"s": _gappy_source()},
+        )
+        info = plan_vector_info(compiled.plan)
+        assert info.runnable
+        assert info.worthwhile
+        assert info.lowered_operators == info.operator_nodes > 0
+
+    def test_clipjoin_only_plan_is_not_worthwhile(self):
+        engine = LifeStreamEngine(window_size=1000)
+        compiled = engine.compile(
+            Query.source("s", frequency_hz=500).multicast(
+                lambda s: s.clip_join(s, lambda a, b: a + b)
+            ),
+            {"s": _gappy_source()},
+        )
+        info = plan_vector_info(compiled.plan)
+        assert info.runnable
+        assert info.lowered_operators == 0
+        assert not info.worthwhile
+
+
+# -- session parity ---------------------------------------------------------
+
+
+class TestSessionParity:
+    @pytest.mark.parametrize("tick", [1000, 1700])
+    def test_tickwise_vectorized_matches_oneshot_serial(self, tick):
+        """Advancing a vectorized session tick-by-tick must reproduce the
+        one-shot serial run bit for bit, carries included."""
+        query = (
+            Query.source("s", frequency_hz=500)
+            .select(lambda v: v + 0.5)
+            .shift(1000)
+            .where(lambda v: np.abs(v) < 9)
+        )
+        reference = LifeStreamEngine(window_size=1000, backend=SerialBackend()).run(
+            query, {"s": _gappy_source()}
+        )
+
+        engine = LifeStreamEngine(window_size=1000, backend=VectorizedBackend())
+        session = engine.open_session(query, {"s": ReplaySource(_gappy_source())})
+        end = 12000 * 2
+        for watermark in range(tick, end + tick, tick):
+            session.advance(watermark)
+        session.finish()
+        live = session.result()
+        assert live.stats.execution_mode == "vectorized"
+        session.close()
+
+        np.testing.assert_array_equal(reference.times, live.times)
+        np.testing.assert_array_equal(reference.values, live.values)
+        np.testing.assert_array_equal(reference.durations, live.durations)
+
+    def test_small_run_cap_sessions_stay_bit_identical(self):
+        query = Query.source("s", frequency_hz=500).sliding_window(200, 100).max()
+        reference = LifeStreamEngine(window_size=1000).run(query, {"s": _gappy_source()})
+        engine = LifeStreamEngine(
+            window_size=1000, backend=VectorizedBackend(max_run_windows=2)
+        )
+        session = engine.open_session(query, {"s": ReplaySource(_gappy_source())})
+        session.finish()
+        live = session.result()
+        session.close()
+        np.testing.assert_array_equal(reference.times, live.times)
+        np.testing.assert_array_equal(reference.values, live.values)
+        np.testing.assert_array_equal(reference.durations, live.durations)

@@ -122,3 +122,91 @@ class TestClampKernel:
         values = np.zeros(3)
         _, mask = kernel(values, np.array([True, False, True]))
         np.testing.assert_array_equal(mask, [True, False, True])
+
+
+def _random_rows(seed, n_rows=24, samples=60, gap_fraction=0.25):
+    """Rows with a realistic mix: dense, gappy, constant and empty rows."""
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal((n_rows, samples))
+    mask = rng.random((n_rows, samples)) >= gap_fraction
+    mask[0] = True  # fully present
+    mask[1] = False  # fully absent
+    values[2] = 7.5  # constant row (zscore's std == 0 branch)
+    mask[2] = True
+    mask[3, samples // 2 :] = False  # long trailing gap (> any fill limit)
+    return values, mask
+
+
+def _rowwise(kernel, values, mask):
+    new_values = np.empty_like(values)
+    new_mask = np.empty_like(mask)
+    for row in range(values.shape[0]):
+        result = kernel(values[row], mask[row])
+        new_values[row], new_mask[row] = result
+    return new_values, new_mask
+
+
+class TestBatchedKernels:
+    """The ``batched`` variants must be bit-identical to calling the scalar
+    kernel row by row — the contract the vectorized backend's whole-run
+    Transform lowering relies on."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_zscore_batched_matches_rowwise(self, seed):
+        kernel = zscore_kernel()
+        values, mask = _random_rows(seed)
+        ref_values, ref_mask = _rowwise(kernel, values, mask)
+        new_values, new_mask = kernel.batched(values, mask)
+        np.testing.assert_array_equal(new_values, ref_values)
+        np.testing.assert_array_equal(new_mask, ref_mask)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("max_gap", [1, 4, 16])
+    def test_fill_mean_batched_matches_rowwise(self, seed, max_gap):
+        kernel = fill_mean_kernel(max_gap)
+        values, mask = _random_rows(seed)
+        ref_values, ref_mask = _rowwise(kernel, values, mask)
+        new_values, new_mask = kernel.batched(values, mask)
+        np.testing.assert_array_equal(new_values, ref_values)
+        np.testing.assert_array_equal(new_mask, ref_mask)
+
+    def test_fill_const_batched_matches_rowwise(self):
+        kernel = fill_const_kernel(4, constant=-3.0)
+        values, mask = _random_rows(5)
+        ref_values, ref_mask = _rowwise(kernel, values, mask)
+        new_values, new_mask = kernel.batched(values, mask)
+        np.testing.assert_array_equal(new_values, ref_values)
+        np.testing.assert_array_equal(new_mask, ref_mask)
+
+    def test_batched_out_parameter_writes_in_place(self):
+        for kernel in (zscore_kernel(), fill_mean_kernel(4)):
+            values, mask = _random_rows(3)
+            ref_values, ref_mask = _rowwise(kernel, values, mask)
+            out = np.empty_like(values)
+            new_values, new_mask = kernel.batched(values, mask, out=out)
+            # Either the kernel filled `out` or it had nothing to change and
+            # returned its input unchanged; both must match the reference.
+            np.testing.assert_array_equal(new_values, ref_values)
+            np.testing.assert_array_equal(new_mask, ref_mask)
+            if new_values is out:
+                np.testing.assert_array_equal(out, ref_values)
+
+    def test_fill_batched_dense_rows_alias_inputs(self):
+        # Nothing to fill: the batched fill may return its inputs unchanged
+        # (callers copy), and must not write to `out`.
+        kernel = fill_mean_kernel(4)
+        values = np.random.default_rng(0).standard_normal((4, 20))
+        mask = np.ones((4, 20), dtype=bool)
+        out = np.full_like(values, np.nan)
+        new_values, new_mask = kernel.batched(values, mask, out=out)
+        np.testing.assert_array_equal(new_values, values)
+        np.testing.assert_array_equal(new_mask, mask)
+        assert np.isnan(out).all()
+
+    def test_clamp_is_its_own_batched_form(self):
+        kernel = clamp_kernel(-1.0, 1.0)
+        values, mask = _random_rows(4)
+        ref_values, ref_mask = _rowwise(kernel, values, mask)
+        new_values, new_mask = kernel.batched(values, mask)
+        np.testing.assert_array_equal(new_values, ref_values)
+        np.testing.assert_array_equal(new_mask, ref_mask)
