@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.compiler.fusion import FusionReport, fuse_elementwise
+from repro.core.compiler.hints import CompileHints
 from repro.core.compiler.lineage import (
     backward_time_map,
     forward_time_map,
@@ -54,6 +55,7 @@ __all__ = [
     "build_plan",
     "compile_plan",
     "CompiledPlan",
+    "CompileHints",
     "MemoryPlan",
     "PassManager",
     "PassContext",
@@ -140,6 +142,9 @@ class CompiledPlan:
     sources: dict[str, StreamSource] | None = None
     tracer: object = None
     optimization_level: int = MAX_OPTIMIZATION_LEVEL
+    #: Profile-derived overrides the plan was compiled with (None when the
+    #: pipeline ran on its static defaults).
+    hints: CompileHints | None = None
 
     def instantiate(
         self,
@@ -231,6 +236,7 @@ class CompiledPlan:
             sources=bound,
             tracer=self.tracer,
             optimization_level=self.optimization_level,
+            hints=self.hints,
         )
 
     def explain(self) -> str:
@@ -243,6 +249,8 @@ class CompiledPlan:
             f"output coverage: {self.output_coverage.total_length()} ticks"
         )
         lines = [header, describe_plan(self.sink)]
+        if self.hints is not None:
+            lines.append(f"compile hints: {self.hints.describe()}")
         if self.pass_timings:
             lines.append("pass timeline:")
             for timing in self.pass_timings:
@@ -259,12 +267,16 @@ def compile_plan(
     tracer=None,
     optimization_level: int = MAX_OPTIMIZATION_LEVEL,
     pass_manager: PassManager | None = None,
+    hints: CompileHints | None = None,
 ) -> CompiledPlan:
     """Compile *query* into an executable :class:`CompiledPlan`.
 
     ``optimization_level`` gates the rewriting passes: 0 compiles the query
     verbatim, 1 adds spec normalization, 2 (default) adds operator fusion.
     A custom ``pass_manager`` replaces the default pipeline entirely.
+    ``hints`` threads profile-derived overrides (:class:`CompileHints`) into
+    the pipeline — advisory per-decision tweaks that never change the
+    plan's output, only how it executes.
     """
     if not 0 <= optimization_level <= MAX_OPTIMIZATION_LEVEL:
         raise CompilationError(
@@ -278,6 +290,7 @@ def compile_plan(
         window_size=window_size,
         tracer=tracer,
         optimization_level=optimization_level,
+        hints=hints,
     )
     timings = manager.run(ctx)
     sink = ctx.require_sink()
@@ -296,4 +309,5 @@ def compile_plan(
         sources=sources,
         tracer=tracer,
         optimization_level=optimization_level,
+        hints=hints,
     )

@@ -69,6 +69,10 @@ class PassContext:
     coverage: IntervalSet | None = None
     memory_plan: MemoryPlan | None = None
     metadata: dict = field(default_factory=dict)
+    #: Profile-derived overrides (:class:`~repro.core.compiler.hints.CompileHints`);
+    #: ``None`` keeps every static decision.  Each pass consumes only the
+    #: fields it understands.
+    hints: object = None
 
     def require_sink(self) -> PlanNode:
         """The plan IR, raising if no plan-building pass has run yet."""
@@ -132,10 +136,12 @@ class FuseElementwisePass(CompilerPass):
         if ctx.optimization_level < 2:
             ctx.metadata["fusion"] = "disabled"
             return
-        report = fuse_elementwise(ctx.require_sink())
+        max_length = getattr(ctx.hints, "max_fusion_length", None)
+        report = fuse_elementwise(ctx.require_sink(), max_length=max_length)
         ctx.sink = report.sink
         ctx.metadata["fusion"] = (
             f"{report.chains_fused} chain(s), {report.nodes_eliminated} node(s) fused"
+            + (f", cut at {max_length} stage(s)" if max_length is not None else "")
         )
 
 

@@ -165,11 +165,23 @@ class LifeStreamEngine:
         #: template instead of running the pass pipeline again — the
         #: compile-once path behind :class:`~repro.serve.StreamingService`.
         self.plan_cache = plan_cache
+        self._last_signature: tuple | None = None
+
+    @property
+    def last_signature(self) -> tuple | None:
+        """The plan signature computed by the most recent :meth:`compile`
+        (None when that compile bypassed the cache: no plan cache attached,
+        bound sources, or hints).  Signature computation walks the whole
+        query spec fingerprinting every callable — letting the serving
+        layer reuse this instead of recomputing keeps ``open()`` at one
+        signature per client."""
+        return self._last_signature
 
     def compile(
         self,
         query: Query,
         sources: dict[str, StreamSource] | None = None,
+        hints=None,
     ) -> CompiledQuery:
         """Compile *query* against *sources* without executing it.
 
@@ -178,8 +190,16 @@ class LifeStreamEngine:
         compile exactly once; later calls clone the cached template via
         :meth:`CompiledPlan.instantiate`, rebinding each client's sources.
         Queries with bound sources always compile directly.
+
+        ``hints`` (a :class:`~repro.core.compiler.CompileHints`) threads
+        profile-derived overrides into the pass pipeline and bypasses the
+        signature cache — hinted recompiles are per-profile specialisations;
+        the adaptive serving layer caches them itself under
+        ``(signature, hints.cache_key())``.
         """
-        plan = self._cached_plan(query, sources)
+        if hints is not None:
+            self._last_signature = None
+        plan = self._cached_plan(query, sources) if hints is None else None
         if plan is None:
             plan = compile_plan(
                 query,
@@ -187,6 +207,7 @@ class LifeStreamEngine:
                 window_size=self.window_size,
                 tracer=self.tracer,
                 optimization_level=self.optimization_level,
+                hints=hints,
             )
         return CompiledQuery(plan, targeted=self.targeted, backend=self.backend)
 
@@ -207,6 +228,7 @@ class LifeStreamEngine:
         pre-warm the cache before forking, without paying for a throwaway
         per-client instantiation.
         """
+        self._last_signature = None
         if self.plan_cache is None:
             return None
         # Imported here: repro.serve sits above the engine in the layering.
@@ -228,6 +250,7 @@ class LifeStreamEngine:
             window_size=self.window_size,
             optimization_level=self.optimization_level,
         )
+        self._last_signature = key
         return self.plan_cache.get_or_compile(
             key,
             lambda: compile_plan(

@@ -11,6 +11,7 @@ from repro.core.runtime.backends import (
     recommend_backend,
 )
 from repro.core.runtime.executor import eager_window_count, execute_plan, run_window_loop
+from repro.core.runtime.profile import PlanProfile
 from repro.core.runtime.result import ExecutionStats, StreamResult
 from repro.core.runtime.session import StreamingSession, TickStats
 from repro.core.runtime.vectorized import runs_for_coverage, runs_for_starts
@@ -23,6 +24,7 @@ __all__ = [
     "StreamResult",
     "StreamingSession",
     "TickStats",
+    "PlanProfile",
     "ExecutionBackend",
     "SerialBackend",
     "BatchedBackend",

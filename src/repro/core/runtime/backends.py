@@ -470,21 +470,75 @@ class VectorizedBackend(ExecutionBackend):
         return events, bool(executor.fallback_nodes)
 
 
-def recommend_backend(plan: CompiledPlan, targeted: bool = True) -> ExecutionBackend:
-    """Choose an execution backend from the compiled plan's shape.
+def recommend_backend(
+    plan: CompiledPlan, targeted: bool = True, profile=None
+) -> tuple[ExecutionBackend, str]:
+    """Choose an execution backend for *plan* and say why.
 
-    The heuristic mirrors what the backends themselves would decide, without
-    running anything: vectorized run execution wins whenever some operator
-    lowers and the targeted coverage forms non-trivial runs (amortising the
-    per-window overhead is the whole point — isolated single-window runs
-    leave nothing to amortise); widening-safe plans that cannot lower any
-    node still benefit from the batched twin; everything else runs serially.
+    Returns ``(backend, reason)`` — the reason is a human-readable sentence
+    surfaced by ``--backend auto`` pipelines and recorded by the adaptive
+    serving layer, so backend choices are auditable rather than silent.
+
+    Without a profile, the heuristic mirrors what the backends themselves
+    would decide, without running anything: vectorized run execution wins
+    whenever some operator lowers and the targeted coverage forms
+    non-trivial runs (amortising the per-window overhead is the whole point
+    — isolated single-window runs leave nothing to amortise); widening-safe
+    plans that cannot lower any node still benefit from the batched twin;
+    everything else runs serially.
+
+    With a :class:`~repro.core.runtime.profile.PlanProfile` (measured ticks
+    of a live session), the *observed* run geometry replaces the static
+    coverage guess: the measured mean run length decides whether there is
+    anything to amortise, and the profile's histogram sizes the vectorized
+    run cap / batched twin width.
     """
-    if plan.tracer is None and plan_vector_info(plan).worthwhile:
+    can_vectorize = plan.tracer is None and plan_vector_info(plan).worthwhile
+    batchable = plan_batch_safe(plan) and plan.query is not None
+
+    if profile is not None and profile.window_runs > 0:
+        mean_run = profile.mean_run_length
+        hints = profile.hints()
+        if can_vectorize and mean_run >= 2.0:
+            cap = hints.max_run_windows or DEFAULT_MAX_RUN_WINDOWS
+            return VectorizedBackend(max_run_windows=cap), (
+                f"profile over {profile.ticks} tick(s) measured mean runs of "
+                f"{mean_run:.1f} consecutive window(s); lowerable operators "
+                f"amortise per-window overhead over runs (cap {cap})"
+            )
+        if batchable and mean_run >= 2.0:
+            width = hints.batch_windows or BatchedBackend().batch_windows
+            return BatchedBackend(batch_windows=width), (
+                f"profile over {profile.ticks} tick(s) measured mean runs of "
+                f"{mean_run:.1f} consecutive window(s) but no operator "
+                f"lowers; a {width}-window widened twin amortises the graph "
+                f"walk instead"
+            )
+        return SerialBackend(), (
+            f"profile over {profile.ticks} tick(s) measured mostly isolated "
+            f"windows (mean run {mean_run:.1f}); batching or run execution "
+            f"has nothing to amortise"
+        )
+
+    if can_vectorize:
         starts = _window_starts(plan, targeted)
         runs = runs_for_starts(starts, plan.sink.dimension)
         if runs and len(starts) >= 4 * len(runs):
-            return VectorizedBackend()
-    if plan_batch_safe(plan) and plan.query is not None:
-        return BatchedBackend()
-    return SerialBackend()
+            return VectorizedBackend(), (
+                f"coverage forms {len(runs)} run(s) over {len(starts)} "
+                f"window(s) and some operators lower to array programs"
+            )
+    if batchable:
+        return BatchedBackend(), (
+            "every operator is widening-invariant, so a widened twin "
+            "amortises the per-window graph walk"
+            + (
+                "; coverage runs are too short for run execution"
+                if can_vectorize
+                else ""
+            )
+        )
+    return SerialBackend(), (
+        "plan is neither lowerable nor widening-safe; windows must run "
+        "one at a time"
+    )

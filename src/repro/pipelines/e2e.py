@@ -101,10 +101,11 @@ def run_lifestream_e2e(
 
     began = time.perf_counter()
     compiled = engine.compile(query, sources={"ecg": ecg_source, "abp": abp_source})
+    backend_reason = None
     if auto_backend:
         from repro.core.runtime.backends import recommend_backend
 
-        backend = recommend_backend(compiled.plan, targeted=targeted)
+        backend, backend_reason = recommend_backend(compiled.plan, targeted=targeted)
         result = compiled.run(backend=backend)
     else:
         result = compiled.run()
@@ -126,18 +127,21 @@ def run_lifestream_e2e(
             backend_label = "serial (vectorized fallback)"
     if auto_backend:
         backend_label = f"{backend_label} (auto)"
+    extra = {
+        "windows_computed": result.stats.windows_computed,
+        "windows_skipped": result.stats.windows_skipped,
+        "preallocated_bytes": result.stats.preallocated_bytes,
+        "targeted": targeted,
+        "backend": backend_label,
+    }
+    if backend_reason is not None:
+        extra["backend_reason"] = backend_reason
     return PipelineRun(
         engine="lifestream",
         elapsed_seconds=elapsed,
         events_ingested=result.stats.events_ingested,
         events_emitted=result.stats.events_emitted,
-        extra={
-            "windows_computed": result.stats.windows_computed,
-            "windows_skipped": result.stats.windows_skipped,
-            "preallocated_bytes": result.stats.preallocated_bytes,
-            "targeted": targeted,
-            "backend": backend_label,
-        },
+        extra=extra,
     )
 
 
@@ -292,6 +296,8 @@ def main(argv: list[str] | None = None) -> None:
         f"ingested={run.events_ingested}  emitted={run.events_emitted}  "
         f"throughput={run.throughput_events_per_second / 1e6:.2f} M events/s"
     )
+    if "backend_reason" in run.extra:
+        print(f"backend chosen because: {run.extra['backend_reason']}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,10 +15,12 @@ paper's patient-level-scale story:
 from repro.serve.cache import (
     PlanCache,
     PlanCacheStats,
+    ProfileStore,
     fingerprint_operator,
     fingerprint_value,
     has_bound_sources,
     plan_signature,
+    signature_digest,
 )
 from repro.serve.service import ClientRecord, ServicePumpReport, StreamingService
 from repro.serve.sharded import ShardedStreamingService
@@ -26,7 +28,9 @@ from repro.serve.sharded import ShardedStreamingService
 __all__ = [
     "PlanCache",
     "PlanCacheStats",
+    "ProfileStore",
     "plan_signature",
+    "signature_digest",
     "fingerprint_operator",
     "fingerprint_value",
     "has_bound_sources",

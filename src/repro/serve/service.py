@@ -13,23 +13,49 @@ work) run before idle re-announcements, and among the ready sessions the
 accumulated per-tick :class:`~repro.core.runtime.session.TickStats` order
 the batch cheapest-expected-tick first — shortest-job-first over the
 observed plan+execute timings, which minimises the mean time a client waits
-for its tick inside the batch.  Sessions with no history yet run after the
-profiled ones (their first tick drains an unknown backlog).
+for its tick inside the batch.  Sessions with no history yet are assumed
+optimistically cheap (:data:`COLD_START_EXPECTED_SECONDS`).
+
+With ``adaptive=True`` the same per-tick stats feed the plan cache's
+:class:`~repro.serve.cache.ProfileStore`, and the service closes the
+profile-guided optimization loop: every ``adapt_after_ticks`` ticks a
+client's merged signature profile is turned into
+:class:`~repro.core.compiler.CompileHints` plus a profile-aware
+:func:`~repro.core.runtime.backends.recommend_backend` choice; if they
+disagree with the session's current configuration, the signature is
+recompiled with the hints (cached under ``(signature, hints)``, so N
+clients converging on the same choices share one recompile) and the new
+plan is hot-swapped into the live session at the tick boundary via
+:meth:`~repro.core.runtime.session.StreamingSession.swap_plan` —
+bit-identical output, no stream interruption.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.core.engine import LifeStreamEngine
+from repro.core.compiler import compile_plan
+from repro.core.engine import CompiledQuery, LifeStreamEngine
+from repro.core.runtime.backends import recommend_backend
 from repro.core.runtime.result import StreamResult
 from repro.core.runtime.session import StreamingSession, TickStats
 from repro.core.timeutil import TICKS_PER_MINUTE
 from repro.errors import ExecutionError
-from repro.serve.cache import PlanCache, PlanCacheStats
+from repro.serve.cache import PlanCache, PlanCacheStats, signature_digest
 
 #: How many recent ticks inform a session's expected-cost estimate.
 PROFILE_WINDOW = 8
+
+#: Expected cost assumed for a session with no tick history.  Deliberately
+#: optimistic (zero): a cold session's first tick is usually a near-empty
+#: catch-up, and scheduling it early gets its profile started — after one
+#: tick it is ranked by real measurements like everyone else.  Shortest-
+#: job-first over *estimates* only mis-schedules a cold outlier once.
+COLD_START_EXPECTED_SECONDS = 0.0
+
+#: Minimum profiled ticks (and re-evaluation cadence) before the adaptive
+#: service considers recompiling a client's plan.
+ADAPT_MIN_TICKS = 3
 
 
 @dataclass
@@ -41,6 +67,21 @@ class ClientRecord:
     compiled: object
     #: Whether this client's plan came from the cache (False = it compiled).
     cache_hit: bool
+    #: Structural plan signature (None when the query binds concrete
+    #: sources and is uncacheable — such clients never adapt).
+    signature: tuple | None = None
+    #: Digest of :attr:`signature`; the client's ProfileStore key.
+    profile_key: str | None = None
+    #: The query/sources the client opened with (recompiled from on adapt).
+    query: object = None
+    sources: dict | None = None
+    #: Hot swaps performed on this client's session.
+    swaps: int = 0
+    #: Ticks observed since the last adaptation check.
+    ticks_since_check: int = 0
+    #: Human-readable reason behind the most recent swap (from
+    #: :func:`~repro.core.runtime.backends.recommend_backend`).
+    last_adapt_reason: str | None = None
 
 
 @dataclass
@@ -51,6 +92,8 @@ class ServicePumpReport:
     order: list[str] = field(default_factory=list)
     #: Per-client tick instrumentation.
     ticks: dict[str, TickStats] = field(default_factory=dict)
+    #: Clients whose plan was hot-swapped at this pump's tick boundary.
+    swapped: list[str] = field(default_factory=list)
 
     @property
     def windows_run(self) -> int:
@@ -81,6 +124,7 @@ class ServicePumpReport:
         """Fold *other*'s per-client records into this report."""
         self.order.extend(other.order)
         self.ticks.update(other.ticks)
+        self.swapped.extend(other.swapped)
 
 
 class StreamingService:
@@ -101,7 +145,14 @@ class StreamingService:
         optimization_level: int | None = None,
         max_cached_plans: int = 32,
         engine: LifeStreamEngine | None = None,
+        adaptive: bool = False,
+        adapt_after_ticks: int = ADAPT_MIN_TICKS,
+        profile_path=None,
     ) -> None:
+        if adapt_after_ticks < 1:
+            raise ExecutionError(
+                f"adapt_after_ticks must be positive, got {adapt_after_ticks}"
+            )
         if engine is None:
             kwargs = {}
             if optimization_level is not None:
@@ -110,12 +161,18 @@ class StreamingService:
                 window_size=window_size,
                 targeted=targeted,
                 backend=backend,
-                plan_cache=PlanCache(capacity=max_cached_plans),
+                plan_cache=PlanCache(
+                    capacity=max_cached_plans, profile_path=profile_path
+                ),
                 **kwargs,
             )
         elif engine.plan_cache is None:
-            engine.plan_cache = PlanCache(capacity=max_cached_plans)
+            engine.plan_cache = PlanCache(
+                capacity=max_cached_plans, profile_path=profile_path
+            )
         self.engine = engine
+        self.adaptive = adaptive
+        self.adapt_after_ticks = int(adapt_after_ticks)
         self._clients: dict[str, ClientRecord] = {}
         self._pumps = 0
 
@@ -137,11 +194,26 @@ class StreamingService:
         hits_before = self.engine.plan_cache.stats.hits
         compiled = self.engine.compile(query, sources)
         session = compiled.open_session(targeted=targeted)
+        # The engine already computed the structural signature for its cache
+        # lookup; reuse it (recomputing would re-fingerprint every callable
+        # in the query).  It is None exactly when the query binds concrete
+        # sources — such clients are uncacheable and never adapt.  The
+        # digest (the ProfileStore key) is only derived in adaptive mode:
+        # a static service never reads profiles, so hashing a deep
+        # signature per open() would be pure overhead on its hot path.
+        signature = self.engine.last_signature
+        profile_key = None
+        if self.adaptive and signature is not None:
+            profile_key = signature_digest(signature)
         self._clients[client_id] = ClientRecord(
             client_id=client_id,
             session=session,
             compiled=compiled,
             cache_hit=self.engine.plan_cache.stats.hits > hits_before,
+            signature=signature,
+            profile_key=profile_key,
+            query=query,
+            sources=dict(sources or {}),
         )
         return session
 
@@ -215,11 +287,21 @@ class StreamingService:
             }
         report = ServicePumpReport()
         for client_id in self._schedule(batch):
-            stats = self._clients[client_id].session.advance(batch[client_id])
+            record = self._clients[client_id]
+            stats = record.session.advance(batch[client_id])
             report.order.append(client_id)
             report.ticks[client_id] = stats
+            self._observe(record, stats)
+            if self.adaptive and self._maybe_adapt(record):
+                report.swapped.append(client_id)
         self._pumps += 1
         return report
+
+    def _observe(self, record: ClientRecord, stats: TickStats) -> None:
+        """Fold one tick into the client's shared signature profile."""
+        if record.profile_key is not None:
+            self.engine.plan_cache.profiles.observe(record.profile_key, stats)
+            record.ticks_since_check += 1
 
     def _schedule(self, batch: dict[str, int]) -> list[str]:
         """Tick order for *batch*: ready sessions first, cheapest first."""
@@ -235,23 +317,106 @@ class StreamingService:
         idle.sort(key=self._expected_cost)
         return ready + idle
 
-    def _expected_cost(self, client_id: str) -> tuple[int, float]:
-        """Shortest-job-first key from the session's recent tick profile."""
+    def _expected_cost(self, client_id: str) -> float:
+        """Shortest-job-first key: mean elapsed seconds of the session's
+        recent ticks, or :data:`COLD_START_EXPECTED_SECONDS` when it has no
+        history yet (so cold sessions run first and get profiled)."""
         ticks = self._clients[client_id].session.recent_ticks(PROFILE_WINDOW)
         if not ticks:
-            # No profile yet: run after the profiled sessions.
-            return (1, 0.0)
-        return (0, sum(t.elapsed_seconds for t in ticks) / len(ticks))
+            return COLD_START_EXPECTED_SECONDS
+        return sum(t.elapsed_seconds for t in ticks) / len(ticks)
 
     def finish(self) -> ServicePumpReport:
         """Drain every open session's deferred tail (see ``Session.finish``)."""
         report = ServicePumpReport()
         for client_id in sorted(self._clients, key=self._expected_cost):
-            stats = self._clients[client_id].session.finish()
+            record = self._clients[client_id]
+            stats = record.session.finish()
             report.order.append(client_id)
             report.ticks[client_id] = stats
+            self._observe(record, stats)
         self._pumps += 1
         return report
+
+    # -- adaptive recompilation ----------------------------------------------
+
+    @staticmethod
+    def _backend_config(backend) -> tuple:
+        """Comparable identity of a backend choice (name + tuning knobs)."""
+        if backend is None:
+            return ("serial",)
+        name = getattr(backend, "name", "serial")
+        if name == "batched":
+            return (name, backend.batch_windows)
+        if name == "vectorized":
+            return (name, backend.max_run_windows)
+        return (name,)
+
+    def _maybe_adapt(self, record: ClientRecord) -> bool:
+        """Recompile and hot-swap *record*'s session if its signature profile
+        recommends a different configuration.  Returns True on a swap.
+
+        Runs at most every :attr:`adapt_after_ticks` observed ticks per
+        client, and only once the merged profile holds at least that many
+        ticks.  A recommendation matching the current configuration is a
+        no-op (no recompile, no swap); a misaligned swap (the frontier does
+        not land on the new plan's window grid — e.g. onto a batched twin
+        mid-batch) is abandoned and retried at a later boundary.
+        """
+        if (
+            record.profile_key is None
+            or record.session.finished
+            or record.ticks_since_check < self.adapt_after_ticks
+        ):
+            return False
+        record.ticks_since_check = 0
+        profile = self.engine.plan_cache.profiles.get(record.profile_key)
+        if profile is None or profile.ticks < self.adapt_after_ticks:
+            return False
+        targeted = record.session.targeted
+        backend, reason = recommend_backend(
+            record.compiled.plan, targeted=targeted, profile=profile
+        )
+        hints = replace(profile.hints(), backend=backend.name)
+        current_hints = record.compiled.plan.hints
+        current_cut = None if current_hints is None else current_hints.max_fusion_length
+        # Of the hint fields, only the fusion cut changes the compiled plan
+        # itself — batch width and the run cap live on the backend object.
+        # Swap only when the execution configuration genuinely changes; a
+        # recommendation matching the status quo must not churn sessions.
+        if (
+            self._backend_config(backend)
+            == self._backend_config(record.session.backend)
+            and hints.max_fusion_length == current_cut
+        ):
+            return False
+        engine = self.engine
+        template = engine.plan_cache.get_or_compile(
+            (record.signature, hints.cache_key()),
+            lambda: compile_plan(
+                record.query,
+                sources=record.sources,
+                window_size=engine.window_size,
+                tracer=engine.tracer,
+                optimization_level=engine.optimization_level,
+                hints=hints,
+            ),
+        )
+        plan = template.instantiate(record.sources, strict=False)
+        compiled = CompiledQuery(plan, targeted=targeted, backend=backend)
+        try:
+            new_session = record.session.swap_plan(
+                compiled, targeted=targeted, backend=backend
+            )
+        except ExecutionError:
+            # Misaligned boundary (or a defensive state mismatch): keep the
+            # current session and re-evaluate after the next check window.
+            return False
+        record.session = new_session
+        record.compiled = compiled
+        record.swaps += 1
+        record.last_adapt_reason = reason
+        return True
 
     # -- results -------------------------------------------------------------
 
