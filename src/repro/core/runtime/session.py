@@ -35,7 +35,9 @@ exactly where it stopped, even after a crash.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -153,6 +155,9 @@ class StreamingSession:
         self._finished = False
         self._closed = False
         self._recompiled = False
+        self._checkpoint_hook = None
+        self._checkpoint_every = 1
+        self._ticks_since_checkpoint = 0
         # Claim exclusivity BEFORE touching any runtime state: if another
         # session already owns the plan, attach_session raises and the live
         # session's carries/watermarks are left untouched.
@@ -342,7 +347,38 @@ class StreamingSession:
             execution_mode=self._execution_mode,
         )
         self._ticks.append(stats)
+        self._maybe_auto_checkpoint()
         return stats
+
+    # -- checkpoint cadence --------------------------------------------------
+
+    def set_checkpoint_hook(self, hook, every_ticks: int = 1) -> None:
+        """Install *hook*, called with a fresh checkpoint dict on a tick cadence.
+
+        After every *every_ticks*-th completed tick (``advance``/``poll``,
+        including the drain tick of ``finish``), the session snapshots itself
+        via :meth:`checkpoint` and passes the state dict to ``hook(state)``.
+        This is the failover feed of the ingest worker pool: workers
+        checkpoint their sessions on a cadence and ship the snapshots to a
+        supervisor, which can restore a dead worker's sessions on a peer.
+        Pass ``hook=None`` to uninstall.
+        """
+        if hook is not None and every_ticks < 1:
+            raise ExecutionError(
+                f"checkpoint cadence must be a positive tick count, got {every_ticks}"
+            )
+        self._checkpoint_hook = hook
+        self._checkpoint_every = int(every_ticks)
+        self._ticks_since_checkpoint = 0
+
+    def _maybe_auto_checkpoint(self) -> None:
+        if self._checkpoint_hook is None:
+            return
+        self._ticks_since_checkpoint += 1
+        if self._ticks_since_checkpoint < self._checkpoint_every:
+            return
+        self._ticks_since_checkpoint = 0
+        self._checkpoint_hook(self.checkpoint())
 
     def _empty_tick(self) -> TickStats:
         stats = TickStats(
@@ -449,6 +485,46 @@ class StreamingSession:
         )
         return StreamResult(times, values, durations, stats=stats)
 
+    def recent_events(self, count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The newest *count* emitted events as ``(times, values, durations)``.
+
+        Unlike :meth:`result` this touches only the tail of the collected
+        output, so a serving loop delivering per-tick deltas to subscribers
+        pays O(delta), not O(history), per tick.
+        """
+        if count <= 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+        tail_times: list[np.ndarray] = []
+        tail_values: list[np.ndarray] = []
+        tail_durations: list[np.ndarray] = []
+        remaining = count
+        for index in range(len(self._collected_times) - 1, -1, -1):
+            chunk = self._collected_times[index]
+            take = min(remaining, int(chunk.size))
+            if take:
+                tail_times.append(chunk[chunk.size - take :])
+                tail_values.append(self._collected_values[index][chunk.size - take :])
+                tail_durations.append(
+                    self._collected_durations[index][chunk.size - take :]
+                )
+                remaining -= take
+            if remaining == 0:
+                break
+        if not tail_times:
+            return self.recent_events(0)
+        tail_times.reverse()
+        tail_values.reverse()
+        tail_durations.reverse()
+        return (
+            np.concatenate(tail_times),
+            np.concatenate(tail_values),
+            np.concatenate(tail_durations),
+        )
+
     def close(self) -> None:
         """Release the plan so one-shot runs on the compiled query work again."""
         if not self._closed:
@@ -471,6 +547,12 @@ class StreamingSession:
         Python containers, so it pickles cleanly; pass *path* to also write
         it to disk.  Restore by opening a new session over a freshly
         compiled copy of the same query with ``checkpoint=``.
+
+        The on-disk write is crash-safe: the state is pickled to a temporary
+        file in the same directory and atomically renamed into place with
+        :func:`os.replace`, so a crash mid-checkpoint can never leave a
+        truncated file where failover expects a valid one — the previous
+        checkpoint (if any) survives intact.
         """
         self._require_open()
         result = self.result()
@@ -501,14 +583,40 @@ class StreamingSession:
             },
         }
         if path is not None:
-            with open(path, "wb") as handle:
-                pickle.dump(state, handle)
+            path = Path(path)
+            descriptor, tmp_name = tempfile.mkstemp(
+                prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+            )
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    pickle.dump(state, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         return state
 
     def _apply_checkpoint(self, checkpoint: dict | str | Path) -> None:
         if not isinstance(checkpoint, dict):
-            with open(checkpoint, "rb") as handle:
-                checkpoint = pickle.load(handle)
+            path = checkpoint
+            try:
+                with open(path, "rb") as handle:
+                    checkpoint = pickle.load(handle)
+            except (EOFError, pickle.UnpicklingError, AttributeError, ValueError) as exc:
+                raise ExecutionError(
+                    f"checkpoint file {path} is truncated or corrupt "
+                    f"({type(exc).__name__}: {exc}); it cannot be restored — "
+                    f"checkpoints are written atomically, so this file was not "
+                    f"produced by StreamingSession.checkpoint()"
+                ) from exc
+            if not isinstance(checkpoint, dict):
+                raise ExecutionError(
+                    f"checkpoint file {path} does not hold a checkpoint dict "
+                    f"(found {type(checkpoint).__name__})"
+                )
         if checkpoint.get("format") != CHECKPOINT_FORMAT:
             raise ExecutionError(
                 f"unrecognised checkpoint format {checkpoint.get('format')!r}; "

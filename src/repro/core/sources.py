@@ -298,6 +298,182 @@ class ReplaySource(StreamSource):
         return self._inner.read(start, min(end, self._watermark))
 
 
+class PushSource(ReplaySource):
+    """An appendable, watermark-gated source for push-based ingestion.
+
+    Where :class:`ReplaySource` *replays* a fully-known retrospective stream
+    behind a movable watermark, ``PushSource`` is the live half of the same
+    contract: it starts empty, grows as producers :meth:`append` sample
+    batches, and advances its watermark to the end of each appended batch —
+    so a :class:`~repro.core.runtime.session.StreamingSession` over it
+    executes exactly the windows the pushed data has fully covered.  This is
+    the source the ingest gateway feeds: *pushed samples*, not hand-delivered
+    watermarks, are what move stream time forward.
+
+    Appends are validated like :class:`ArraySource` construction (on-grid
+    timestamps, positive durations) plus an ordering rule arrays do not
+    need: batches must arrive in time order, strictly after the previous
+    batch's last event, because data behind the watermark may already have
+    been executed and can never be amended.  :meth:`advance` still works for
+    watermark-only progress announcements (heartbeat punctuation: "no data
+    through *t*"), letting windows that end in a silence flush.
+
+    Storage is a pair of amortised-growth column buffers (capacity doubles),
+    so a long-lived session pays O(1) per appended sample, not O(history).
+    """
+
+    def __init__(
+        self,
+        period: int,
+        offset: int = 0,
+        watermark: int | None = None,
+    ) -> None:
+        # Deliberately does not call ReplaySource.__init__: there is no
+        # inner source to wrap.  Subclassing ReplaySource is what plugs the
+        # push path into the runtime — sessions gate readiness on
+        # `isinstance(source, ReplaySource)` watermarks.
+        if period <= 0:
+            raise StreamDefinitionError(f"period must be positive, got {period}")
+        self.descriptor = StreamDescriptor(offset=offset, period=period)
+        self._times = np.empty(0, dtype=np.int64)
+        self._values = np.empty(0, dtype=np.float64)
+        self._durations = np.empty(0, dtype=np.int64)
+        self._size = 0
+        self._coverage = IntervalSet.empty()
+        self._watermark = int(offset) if watermark is None else int(watermark)
+
+    # -- the push path -----------------------------------------------------
+
+    def append(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        durations: np.ndarray | None = None,
+    ) -> int:
+        """Append one batch of samples and advance the watermark past them.
+
+        *times* must be strictly increasing, lie on the stream's periodic
+        grid, and start strictly after the last already-appended event (data
+        behind the watermark may already have been executed downstream).
+        Returns the new watermark: the end of the last appended event
+        (``time + duration``, duration defaulting to the period).  An empty
+        batch is a no-op returning the current watermark.
+        """
+        times = np.asarray(times, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if times.shape != values.shape:
+            raise StreamDefinitionError(
+                f"times and values must have the same shape, got {times.shape} "
+                f"and {values.shape}"
+            )
+        if durations is not None:
+            durations = np.asarray(durations, dtype=np.int64)
+            if durations.shape != times.shape:
+                raise StreamDefinitionError(
+                    f"durations must have the same shape as times, got "
+                    f"{durations.shape} and {times.shape}"
+                )
+            if durations.size and np.any(durations <= 0):
+                index = int(np.flatnonzero(durations <= 0)[0])
+                raise StreamDefinitionError(
+                    f"duration {int(durations[index])} of the pushed event at "
+                    f"timestamp {int(times[index])} must be positive"
+                )
+        if times.size == 0:
+            return self._watermark
+        if times.size > 1 and np.any(np.diff(times) <= 0):
+            bad = int(times[int(np.flatnonzero(np.diff(times) <= 0)[0]) + 1])
+            raise StreamDefinitionError(
+                f"pushed timestamps must be strictly increasing; timestamp "
+                f"{bad} does not advance past its predecessor"
+            )
+        descriptor = self.descriptor
+        misaligned = (times - descriptor.offset) % descriptor.period
+        if np.any(misaligned != 0):
+            bad = int(times[np.flatnonzero(misaligned)[0]])
+            raise StreamDefinitionError(
+                f"pushed timestamp {bad} does not lie on the periodic grid "
+                f"(offset={descriptor.offset}, period={descriptor.period})"
+            )
+        if self._size and int(times[0]) <= int(self._times[self._size - 1]):
+            raise StreamDefinitionError(
+                f"pushed batch starts at timestamp {int(times[0])} but the "
+                f"stream already holds data through "
+                f"{int(self._times[self._size - 1])}; batches must arrive in "
+                f"time order (data behind the watermark may already have "
+                f"been executed and cannot be amended)"
+            )
+        if durations is None:
+            durations = np.full(times.shape, descriptor.period, dtype=np.int64)
+            chunk_coverage = IntervalSet.from_timestamps(times, descriptor.period)
+        else:
+            chunk_coverage = IntervalSet.from_events(times, durations)
+        self._reserve(times.size)
+        end = self._size + times.size
+        self._times[self._size : end] = times
+        self._values[self._size : end] = values
+        self._durations[self._size : end] = durations
+        self._size = end
+        self._coverage = self._coverage.union(chunk_coverage)
+        appended_through = int(times[-1]) + int(durations[-1])
+        self._watermark = max(self._watermark, appended_through)
+        return self._watermark
+
+    def _reserve(self, extra: int) -> None:
+        """Grow the column buffers to hold *extra* more samples (amortised)."""
+        needed = self._size + extra
+        capacity = self._times.size
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, 2 * capacity, 1024)
+        for name, dtype in (
+            ("_times", np.int64),
+            ("_values", np.float64),
+            ("_durations", np.int64),
+        ):
+            grown = np.empty(new_capacity, dtype=dtype)
+            grown[: self._size] = getattr(self, name)[: self._size]
+            setattr(self, name, grown)
+
+    # -- the ReplaySource contract -----------------------------------------
+
+    @property
+    def watermark(self) -> int:
+        """Current watermark: no event at or beyond this time is visible."""
+        return self._watermark
+
+    def advance(self, new_watermark: int) -> None:
+        """Announce watermark-only progress (heartbeat: no data through *t*)."""
+        if new_watermark < self._watermark:
+            raise StreamDefinitionError(
+                f"watermark can only move forward ({self._watermark} -> {new_watermark})"
+            )
+        self._watermark = int(new_watermark)
+
+    def advance_to_end(self) -> None:
+        """Expose everything appended so far (used by ``session.finish()``)."""
+        if self._coverage:
+            self._watermark = max(self._watermark, self._coverage.span()[1])
+
+    def coverage(self) -> IntervalSet:
+        if not self._coverage:
+            return IntervalSet.empty()
+        return self._coverage.clip(self._coverage.span()[0], self._watermark)
+
+    def event_count(self) -> int:
+        return int(self._size)
+
+    def read(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        times = self._times[: self._size]
+        lo = int(np.searchsorted(times, start, side="left"))
+        hi = int(np.searchsorted(times, min(end, self._watermark), side="left"))
+        return (
+            times[lo:hi],
+            self._values[: self._size][lo:hi],
+            self._durations[: self._size][lo:hi],
+        )
+
+
 def write_csv(path: str | Path, times: np.ndarray, values: np.ndarray) -> Path:
     """Write a ``timestamp,value`` CSV file compatible with :class:`CsvSource`."""
     path = Path(path)

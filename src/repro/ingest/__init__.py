@@ -1,0 +1,31 @@
+"""Push-based async ingest: gateway, worker pool, and shared types.
+
+The pull-style serving stack (:mod:`repro.serve`) assumes someone hands
+each :meth:`pump` a watermark.  This package inverts that: producers push
+timestamped samples, an :class:`IngestGateway` coalesces them into
+watermark batches with end-to-end backpressure, and an
+:class:`IngestWorkerPool` shards the sessions across processes with
+dynamic placement and checkpointed failover.
+"""
+
+from repro.ingest.gateway import GatewayStats, IngestGateway, Subscription
+from repro.ingest.pool import IngestWorkerPool
+from repro.ingest.types import (
+    EmittedBatch,
+    PushResult,
+    PushStatus,
+    QueryShape,
+    StreamSpec,
+)
+
+__all__ = [
+    "EmittedBatch",
+    "GatewayStats",
+    "IngestGateway",
+    "IngestWorkerPool",
+    "PushResult",
+    "PushStatus",
+    "QueryShape",
+    "StreamSpec",
+    "Subscription",
+]

@@ -1,0 +1,867 @@
+"""Dynamic worker pool with checkpointed failover for pushed ingest.
+
+:class:`IngestWorkerPool` is the multi-process mode of the ingest
+subsystem.  It keeps the whole-session sharding story of
+:class:`~repro.serve.sharded.ShardedStreamingService` — every client's
+session lives entirely on one forked worker, no operator state ever
+crosses a process boundary — but drops its pre-fork registration
+restriction, and it survives worker death.
+
+**Dynamic placement.**  Queries hold user lambdas and cannot cross a
+pipe, so the sharded service can only serve clients its workers inherited
+at fork time.  The pool forks its workers over a *catalog* instead: a
+``{query_name: QueryShape}`` mapping of query factories fixed at
+construction.  A client then joins at any time — only its picklable
+``(client_id, query_name)`` pair travels to a worker, which builds the
+query locally from the inherited factory.  Workers are equally dynamic:
+:meth:`add_worker` forks a fresh worker mid-flight (it inherits the
+parent's warmed plan cache and the catalog), and :meth:`retire_worker`
+drains one gracefully, rebalancing its clients onto the survivors.
+
+**Failover.**  Each worker session checkpoints on a tick cadence
+(``lifestream-session-checkpoint/v1``, the format of
+:meth:`StreamingSession.checkpoint`), and the states piggyback on the
+reply envelopes already flowing to the parent — no extra round trips.
+The parent also keeps a bounded *replay log* per client: every accepted
+push, truncated once a checkpoint watermark has safely passed it.  When a
+heartbeat (or a mid-command pipe death) finds a worker dead, its clients
+are restored on surviving peers from the latest checkpoint plus the
+replayed post-checkpoint pushes — the restored session re-runs exactly
+the ticks the dead worker ran after its last checkpoint, so the final
+emitted stream is bit-identical, with zero lost or duplicated events.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+
+from repro.core.engine import LifeStreamEngine
+from repro.core.runtime.backends import fork_available
+from repro.core.timeutil import TICKS_PER_MINUTE
+from repro.errors import ExecutionError
+from repro.ingest.types import QueryShape, batch_end, validate_push_batch
+from repro.serve.cache import PlanCache
+from repro.serve.service import ServicePumpReport, StreamingService
+
+#: Ticks between automatic session checkpoints on the workers.
+CHECKPOINT_EVERY_TICKS = 4
+
+#: One queued push (or heartbeat) on the wire and in the replay log:
+#: ``(stream, times, values, durations, watermark)``; ``times is None``
+#: marks a watermark-only heartbeat.
+Entry = tuple
+
+
+def _entry_watermark(entry: Entry) -> int:
+    return entry[4]
+
+
+class _PoolWorkerDied(Exception):
+    """Internal: a worker died before (or instead of) replying."""
+
+    def __init__(self, worker_id: int, detail: str) -> None:
+        super().__init__(detail)
+        self.worker_id = worker_id
+        self.detail = detail
+
+
+class _PoolWorkerRuntime:
+    """The in-worker half of the pool protocol.
+
+    Wraps one :class:`~repro.serve.service.StreamingService` plus the
+    per-client :class:`~repro.core.sources.PushSource`\\ s, and handles the
+    picklable commands the parent sends.  Shared between the forked worker
+    loop and the in-process fallback so both modes run the same code.
+    """
+
+    def __init__(self, engine, catalog, checkpoint_every: int) -> None:
+        self.service = StreamingService(engine=engine)
+        self.catalog = catalog
+        self.checkpoint_every = checkpoint_every
+        self.sources: dict[str, dict] = {}
+        #: ``(client_id, state)`` pairs harvested since the last reply.
+        self.fresh_checkpoints: list[tuple[str, dict]] = []
+
+    def handle(self, command: str, payload):
+        if command == "open":
+            return self.open(*payload)
+        if command == "ingest":
+            return self.ingest(payload)
+        if command == "finish":
+            return self.finish(payload)
+        if command == "results":
+            return {
+                client_id: self.service.result(client_id)
+                for client_id in (payload or self.service.client_ids)
+            }
+        if command == "checkpoint":
+            for client_id in payload or self.service.client_ids:
+                self.fresh_checkpoints.append(
+                    (client_id, self.service.session(client_id).checkpoint())
+                )
+            return None
+        if command == "ping":
+            return self.service.client_ids
+        if command == "close":
+            self.service.close_all()
+            return None
+        raise ExecutionError(f"unknown pool command {command!r}")
+
+    def open(self, client_id, query_name, checkpoint, replay, clocks):
+        """Open (or restore) one client's session on this worker."""
+        shape = self.catalog.get(query_name)
+        if shape is None:
+            raise ExecutionError(
+                f"query {query_name!r} is not in the pool's catalog "
+                f"(known: {sorted(self.catalog)})"
+            )
+        sources = {name: spec.build_source() for name, spec in shape.streams.items()}
+        # Replayed pushes go in *before* the session opens: restore reads
+        # windows around the checkpoint frontier, and their input data must
+        # already be covered.
+        self._apply(sources, replay)
+        for stream, clock in (clocks or {}).items():
+            if clock is not None and clock > sources[stream].watermark:
+                sources[stream].advance(clock)
+        session = self.service.open(
+            client_id, shape.factory(), sources, checkpoint=checkpoint
+        )
+        session.set_checkpoint_hook(
+            lambda state, cid=client_id: self.fresh_checkpoints.append((cid, state)),
+            every_ticks=self.checkpoint_every,
+        )
+        self.sources[client_id] = sources
+        if checkpoint is not None:
+            # Catch up: re-run the ticks the dead worker ran after its last
+            # checkpoint (the replayed pushes already moved the watermarks).
+            self.service.poll([client_id])
+        return None
+
+    def ingest(self, batches: dict) -> ServicePumpReport:
+        """Apply each client's queued entries, then tick the batch."""
+        for client_id, entries in batches.items():
+            sources = self.sources.get(client_id)
+            if sources is None:
+                raise ExecutionError(
+                    f"worker holds no session for client {client_id!r}"
+                )
+            self._apply(sources, entries)
+        return self.service.poll(list(batches))
+
+    def finish(self, client_ids) -> ServicePumpReport:
+        report = ServicePumpReport()
+        for client_id in client_ids or list(self.service.client_ids):
+            stats = self.service.session(client_id).finish()
+            report.order.append(client_id)
+            report.ticks[client_id] = stats
+        return report
+
+    @staticmethod
+    def _apply(sources: dict, entries) -> None:
+        for stream, times, values, durations, watermark in entries:
+            source = sources[stream]
+            if times is None:
+                if watermark > source.watermark:
+                    source.advance(watermark)
+            else:
+                source.append(times, values, durations)
+
+    def drain_checkpoints(self) -> list[tuple[str, dict]]:
+        fresh, self.fresh_checkpoints = self.fresh_checkpoints, []
+        return fresh
+
+
+def _pool_worker_main(conn, engine, catalog, checkpoint_every, foreign_conns=()) -> None:
+    """Forked worker loop: handle commands until EOF or ``close``.
+
+    Every reply is a three-part envelope ``(status, payload, checkpoints)``
+    — cadence checkpoints ride along on whatever reply goes out next.
+    """
+    for foreign in foreign_conns:
+        foreign.close()
+    runtime = _PoolWorkerRuntime(engine, catalog, checkpoint_every)
+    conn.send(("ok", None, []))
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:
+            break
+        try:
+            reply = runtime.handle(command, payload)
+            conn.send(("ok", reply, runtime.drain_checkpoints()))
+        except BaseException as exc:  # noqa: B036 - ferry the error
+            conn.send(
+                (
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    runtime.drain_checkpoints(),
+                )
+            )
+        if command == "close":
+            break
+
+
+class _ForkedWorker:
+    """Parent-side handle of one forked worker process."""
+
+    mode = "forked"
+
+    def __init__(self, worker_id: int, process, pipe) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.pipe = pipe
+
+    def request(self, command: str, payload):
+        try:
+            self.pipe.send((command, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise _PoolWorkerDied(
+                self.worker_id, f"unreachable on send: {exc}"
+            ) from exc
+        while True:
+            ready = mp_connection.wait([self.pipe, self.process.sentinel])
+            if self.pipe in ready or self.pipe.poll(0):
+                try:
+                    return self.pipe.recv()
+                except (EOFError, OSError) as exc:
+                    raise _PoolWorkerDied(
+                        self.worker_id,
+                        f"connection closed mid-command ({type(exc).__name__})",
+                    ) from exc
+            if self.process.sentinel in ready:
+                raise _PoolWorkerDied(
+                    self.worker_id,
+                    f"worker process (pid {self.process.pid}, exitcode "
+                    f"{self.process.exitcode}) died mid-command",
+                )
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker — no cleanup, no goodbye (chaos testing)."""
+        if self.process.is_alive():
+            os.kill(self.process.pid, signal.SIGKILL)
+        self.process.join(timeout=5)
+
+    def reap(self) -> None:
+        try:
+            self.pipe.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.kill()
+            self.process.join(timeout=5)
+
+
+class _LocalWorker:
+    """In-process fallback worker (no ``fork`` on the platform).
+
+    Runs the identical :class:`_PoolWorkerRuntime`; :meth:`kill` discards
+    the runtime outright — losing all session state, exactly like a killed
+    process — so failover is testable without ``fork``.
+    """
+
+    mode = "in-process"
+
+    def __init__(self, worker_id: int, engine, catalog, checkpoint_every: int) -> None:
+        self.worker_id = worker_id
+        self._engine = engine
+        self._catalog = catalog
+        self._checkpoint_every = checkpoint_every
+        self.runtime = _PoolWorkerRuntime(engine, catalog, checkpoint_every)
+
+    def request(self, command: str, payload):
+        if self.runtime is None:
+            raise _PoolWorkerDied(self.worker_id, "worker was killed")
+        try:
+            reply = self.runtime.handle(command, payload)
+        except _PoolWorkerDied:
+            raise
+        except BaseException as exc:  # noqa: B036 - mirror the pipe protocol
+            return (
+                "error",
+                f"{type(exc).__name__}: {exc}",
+                self.runtime.drain_checkpoints(),
+            )
+        return ("ok", reply, self.runtime.drain_checkpoints())
+
+    def alive(self) -> bool:
+        return self.runtime is not None
+
+    def kill(self) -> None:
+        self.runtime = None
+
+    def reap(self) -> None:
+        self.runtime = None
+
+
+@dataclass
+class _PoolClient:
+    """Parent-side record of one client: placement + failover state."""
+
+    client_id: str
+    query_name: str
+    worker_id: int
+    streams: dict
+    #: Per-stream end of the last accepted batch (push-order validation,
+    #: and the clock restored onto a peer's fresh sources).
+    pushed_through: dict = field(default_factory=dict)
+    #: Entries accepted but not yet shipped to the worker.
+    outbox: list = field(default_factory=list)
+    #: Entries kept for failover replay (truncated at each checkpoint).
+    replay: list = field(default_factory=list)
+    checkpoint: dict | None = None
+    checkpoint_watermark: int | None = None
+    finished: bool = False
+
+
+class IngestWorkerPool:
+    """Serve pushed clients across a dynamic, failure-tolerant worker pool.
+
+    Usage::
+
+        catalog = {"hr": QueryShape(make_hr_query, {"ecg": StreamSpec(4)})}
+        pool = IngestWorkerPool(catalog, n_workers=2)
+        pool.connect("patient-1", "hr")        # join any time
+        pool.push("patient-1", "ecg", times, values)
+        report = pool.tick()                   # ship + tick all dirty clients
+        pool.heartbeat()                       # detect + recover dead workers
+        results = pool.results()
+        pool.close()
+    """
+
+    def __init__(
+        self,
+        catalog: dict,
+        n_workers: int = 2,
+        checkpoint_every_ticks: int = CHECKPOINT_EVERY_TICKS,
+        retention_ticks: int | None = None,
+        window_size: int = TICKS_PER_MINUTE,
+        targeted: bool = True,
+        backend=None,
+        optimization_level: int | None = None,
+        max_cached_plans: int = 32,
+    ) -> None:
+        if n_workers < 1:
+            raise ExecutionError(f"n_workers must be positive, got {n_workers}")
+        if checkpoint_every_ticks < 1:
+            raise ExecutionError(
+                f"checkpoint_every_ticks must be positive, got "
+                f"{checkpoint_every_ticks}"
+            )
+        self.catalog = {
+            name: shape if isinstance(shape, QueryShape) else QueryShape(*shape)
+            for name, shape in dict(catalog).items()
+        }
+        if not self.catalog:
+            raise ExecutionError("the pool catalog must hold at least one query")
+        self.checkpoint_every_ticks = int(checkpoint_every_ticks)
+        #: Replay entries are dropped once a checkpoint watermark is this
+        #: far past them.  The margin exists because a restored session may
+        #: re-read inputs up to one window of lookback *before* its
+        #: checkpoint frontier; two windows is a conservative bound.
+        self.retention_ticks = (
+            2 * window_size if retention_ticks is None else int(retention_ticks)
+        )
+        kwargs = {}
+        if optimization_level is not None:
+            kwargs["optimization_level"] = optimization_level
+        self._engine = LifeStreamEngine(
+            window_size=window_size,
+            targeted=targeted,
+            backend=backend,
+            plan_cache=PlanCache(capacity=max_cached_plans),
+            **kwargs,
+        )
+        # Pre-warm one template per catalog shape in the parent: every
+        # worker — including ones forked much later — inherits the warmed
+        # cache, so N same-shape clients cost one compile globally.
+        for shape in self.catalog.values():
+            probe = {name: spec.build_source() for name, spec in shape.streams.items()}
+            self._engine._cached_template(shape.factory(), probe)
+        self._use_fork = fork_available()
+        self._mp_context = (
+            multiprocessing.get_context("fork") if self._use_fork else None
+        )
+        self._workers: dict[int, object] = {}
+        self._clients: dict[str, _PoolClient] = {}
+        self._next_worker_id = 0
+        self._recoveries: list[dict] = []
+        self._closed = False
+        for _ in range(n_workers):
+            self.add_worker()
+
+    # -- workers -------------------------------------------------------------
+
+    @property
+    def execution_mode(self) -> str:
+        """``"forked"`` or ``"in-process"`` (no ``fork`` on this platform)."""
+        return "forked" if self._use_fork else "in-process"
+
+    @property
+    def worker_ids(self) -> list[int]:
+        return list(self._workers)
+
+    @property
+    def client_ids(self) -> list[str]:
+        return list(self._clients)
+
+    def clients_of(self, worker_id: int) -> list[str]:
+        """Ids of the clients currently placed on *worker_id*."""
+        return [
+            c.client_id for c in self._clients.values() if c.worker_id == worker_id
+        ]
+
+    @property
+    def recoveries(self) -> list[dict]:
+        """One record per recovered worker: which clients moved where."""
+        return list(self._recoveries)
+
+    def add_worker(self) -> int:
+        """Fork (or locally create) a fresh worker and add it to the pool.
+
+        Joining after start is first-class: the new worker inherits the
+        parent's warmed plan cache and query catalog, and future placements
+        (and failover restores) can land on it immediately.
+        """
+        self._require_open()
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        if not self._use_fork:
+            self._workers[worker_id] = _LocalWorker(
+                worker_id, self._engine, self.catalog, self.checkpoint_every_ticks
+            )
+            return worker_id
+        parent_conn, child_conn = self._mp_context.Pipe()
+        # The child inherits copies of every older worker's parent-side pipe
+        # end; close them in the child so a dead sibling's pipe can still
+        # reach EOF (the sentinel wait covers the rest).
+        foreign = [
+            worker.pipe for worker in self._workers.values() if hasattr(worker, "pipe")
+        ]
+        process = self._mp_context.Process(
+            target=_pool_worker_main,
+            args=(
+                child_conn,
+                self._engine,
+                self.catalog,
+                self.checkpoint_every_ticks,
+                foreign + [parent_conn],
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _ForkedWorker(worker_id, process, parent_conn)
+        self._workers[worker_id] = worker
+        # Startup ack: the worker sends one unprompted envelope once ready.
+        try:
+            status, payload, _ = parent_conn.recv()
+        except (EOFError, OSError) as exc:  # pragma: no cover - defensive
+            status, payload = "error", f"died during startup ({exc})"
+        if status != "ok":  # pragma: no cover - defensive
+            worker.reap()
+            del self._workers[worker_id]
+            raise ExecutionError(f"worker {worker_id} failed to start: {payload}")
+        return worker_id
+
+    def retire_worker(self, worker_id: int) -> list[str]:
+        """Gracefully drain *worker_id* and rebalance its clients.
+
+        Ships any queued pushes, takes a fresh checkpoint of every hosted
+        session, closes the worker, and restores each client on the
+        least-loaded survivor.  Returns the moved client ids.
+        """
+        self._require_open()
+        worker = self._worker(worker_id)
+        moved = self.clients_of(worker_id)
+        if moved:
+            batches = self._drain_outboxes(moved)
+            if batches:
+                self._request(worker, "ingest", batches)
+            self._request(worker, "checkpoint", moved)
+        self._shutdown_worker(worker)
+        del self._workers[worker_id]
+        if not self._workers and moved:
+            self.add_worker()
+        for client_id in moved:
+            self._restore_client(self._clients[client_id])
+        return moved
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Kill *worker_id* without warning (SIGKILL) — chaos helper.
+
+        All session state on the worker is lost; the next
+        :meth:`heartbeat` or :meth:`tick` detects the death and restores
+        its clients from checkpoints on the surviving workers.
+        """
+        self._require_open()
+        self._worker(worker_id).kill()
+
+    def heartbeat(self) -> list[int]:
+        """Detect dead workers and fail their clients over.  Returns the
+        recovered worker ids (empty when everyone is healthy)."""
+        self._require_open()
+        dead = [wid for wid, worker in self._workers.items() if not worker.alive()]
+        for worker_id in dead:
+            self._recover_worker(worker_id)
+        return dead
+
+    # -- clients -------------------------------------------------------------
+
+    def connect(
+        self, client_id: str, query_name: str, worker_id: int | None = None
+    ) -> int:
+        """Place a new client on a worker (least-loaded unless pinned).
+
+        Unlike the sharded service, this works at any time — before or
+        after other clients are mid-stream.  Returns the hosting worker id.
+        """
+        self._require_open()
+        if client_id in self._clients:
+            raise ExecutionError(f"client {client_id!r} is already connected")
+        shape = self.catalog.get(query_name)
+        if shape is None:
+            raise ExecutionError(
+                f"query {query_name!r} is not in the pool's catalog "
+                f"(known: {sorted(self.catalog)})"
+            )
+        if worker_id is None:
+            worker_id = self._least_loaded()
+        client = _PoolClient(
+            client_id=client_id,
+            query_name=query_name,
+            worker_id=worker_id,
+            streams=dict(shape.streams),
+            pushed_through={name: None for name in shape.streams},
+        )
+        self._open_on(self._worker(worker_id), client, checkpoint=None, replay=[])
+        self._clients[client_id] = client
+        return worker_id
+
+    def push(self, client_id, stream, times, values, durations=None) -> int:
+        """Queue one validated batch for *client_id*; ships on :meth:`tick`.
+
+        Returns the client's queued-entry count (its outbox depth)."""
+        self._require_open()
+        client = self._live_client(client_id)
+        spec = client.streams.get(stream)
+        if spec is None:
+            raise ExecutionError(
+                f"client {client_id!r} has no stream {stream!r} "
+                f"(declared: {sorted(client.streams)})"
+            )
+        times, values, durations = validate_push_batch(
+            spec, client.pushed_through[stream], times, values, durations
+        )
+        if times.size == 0:
+            return len(client.outbox)
+        end = batch_end(times, durations, spec.period)
+        entry = (stream, times, values, durations, end)
+        client.outbox.append(entry)
+        client.replay.append(entry)
+        client.pushed_through[stream] = end
+        return len(client.outbox)
+
+    def advance(self, client_id, stream, watermark: int) -> None:
+        """Heartbeat: declare *stream* silent through *watermark*."""
+        self._require_open()
+        client = self._live_client(client_id)
+        if stream not in client.streams:
+            raise ExecutionError(
+                f"client {client_id!r} has no stream {stream!r} "
+                f"(declared: {sorted(client.streams)})"
+            )
+        watermark = int(watermark)
+        through = client.pushed_through[stream]
+        if through is not None and watermark < through:
+            raise ExecutionError(
+                f"heartbeat watermark {watermark} for stream {stream!r} is "
+                f"behind its pushed data (through {through})"
+            )
+        entry = (stream, None, None, None, watermark)
+        client.outbox.append(entry)
+        client.replay.append(entry)
+        client.pushed_through[stream] = watermark
+
+    def tick(self) -> ServicePumpReport:
+        """Ship every queued push to its worker and tick the dirty clients.
+
+        Groups outboxes per worker (one round trip each), merges the
+        per-worker reports, harvests any cadence checkpoints riding on the
+        replies, and truncates the replay logs they cover.  A worker found
+        dead mid-tick is recovered inline — its clients are restored on
+        peers (which re-applies their queued pushes from the replay log)
+        and the tick simply continues; nothing is lost.
+        """
+        self._require_open()
+        by_worker: dict[int, dict[str, list]] = {}
+        for client in self._clients.values():
+            if client.outbox and not client.finished:
+                by_worker.setdefault(client.worker_id, {})[client.client_id] = None
+        report = ServicePumpReport()
+        for worker_id, placed in by_worker.items():
+            worker = self._workers.get(worker_id)
+            if worker is None or not worker.alive():
+                self._recover_worker(worker_id)
+                continue
+            batches = self._drain_outboxes(list(placed))
+            if not batches:
+                continue
+            try:
+                reply = self._request(worker, "ingest", batches)
+            except _PoolWorkerDied:
+                # The outboxes were already drained, but every entry is
+                # still in the replay logs — the restore replays them.
+                self._recover_worker(worker_id)
+                continue
+            report.merge(reply)
+        return report
+
+    def finish(self) -> ServicePumpReport:
+        """Drain every live client's deferred tail across all workers."""
+        self._require_open()
+        report = ServicePumpReport()
+        self.tick()
+        for worker_id in list(self._workers):
+            placed = [
+                c.client_id
+                for c in self._clients.values()
+                if c.worker_id == worker_id and not c.finished
+            ]
+            if not placed:
+                continue
+            worker = self._workers.get(worker_id)
+            try:
+                report.merge(self._request(worker, "finish", placed))
+            except _PoolWorkerDied:
+                self._recover_worker(worker_id)
+                regrouped: dict[int, list[str]] = {}
+                for client_id in placed:
+                    regrouped.setdefault(
+                        self._clients[client_id].worker_id, []
+                    ).append(client_id)
+                for new_worker_id, client_ids in regrouped.items():
+                    report.merge(
+                        self._request(
+                            self._workers[new_worker_id], "finish", client_ids
+                        )
+                    )
+            for client_id in placed:
+                self._clients[client_id].finished = True
+        return report
+
+    def results(self) -> dict:
+        """Per-client :class:`StreamResult`\\ s, gathered across workers."""
+        self._require_open()
+        merged: dict = {}
+        for worker_id in list(self._workers):
+            placed = self.clients_of(worker_id)
+            if not placed:
+                continue
+            worker = self._workers.get(worker_id)
+            try:
+                merged.update(self._request(worker, "results", placed))
+            except _PoolWorkerDied:
+                self._recover_worker(worker_id)
+                regrouped: dict[int, list[str]] = {}
+                for client_id in placed:
+                    regrouped.setdefault(
+                        self._clients[client_id].worker_id, []
+                    ).append(client_id)
+                for new_worker_id, client_ids in regrouped.items():
+                    merged.update(
+                        self._request(
+                            self._workers[new_worker_id], "results", client_ids
+                        )
+                    )
+        return merged
+
+    def checkpoint_now(self, client_ids=None) -> None:
+        """Force an immediate checkpoint of the given (default all) clients."""
+        self._require_open()
+        targets = list(client_ids) if client_ids is not None else self.client_ids
+        unknown = set(targets) - set(self._clients)
+        if unknown:
+            raise ValueError(
+                f"checkpoint_now() was given unknown client(s) {sorted(unknown)}"
+            )
+        by_worker: dict[int, list[str]] = {}
+        for client_id in targets:
+            client = self._clients[client_id]
+            if not client.finished:
+                by_worker.setdefault(client.worker_id, []).append(client_id)
+        for worker_id, placed in by_worker.items():
+            self._request(self._workers[worker_id], "checkpoint", placed)
+
+    # -- failover ------------------------------------------------------------
+
+    def _recover_worker(self, worker_id: int) -> None:
+        """Restore a dead worker's clients on the survivors."""
+        worker = self._workers.pop(worker_id, None)
+        if worker is not None:
+            worker.reap()
+        displaced = [
+            c for c in self._clients.values() if c.worker_id == worker_id
+        ]
+        if displaced and not self._workers:
+            self.add_worker()
+        record = {
+            "worker_id": worker_id,
+            "clients": {},
+        }
+        for client in displaced:
+            self._restore_client(client)
+            record["clients"][client.client_id] = client.worker_id
+        self._recoveries.append(record)
+
+    def _restore_client(self, client: _PoolClient) -> None:
+        """Re-open one displaced client on the least-loaded live worker.
+
+        The restore payload is the latest cadence checkpoint plus the
+        replay log (all pushes the checkpoint does not cover, with a
+        lookback margin); the worker re-applies the pushes, resumes the
+        session from the checkpoint and re-runs the post-checkpoint ticks.
+        The outbox is cleared — anything queued is in the replay log and
+        lands with the restore.
+        """
+        target_id = self._least_loaded()
+        client.worker_id = target_id
+        client.outbox = []
+        self._open_on(
+            self._workers[target_id],
+            client,
+            checkpoint=client.checkpoint,
+            replay=list(client.replay),
+        )
+        if client.finished:
+            # The stream had already ended; re-run the drain tail too (a
+            # checkpoint taken before finish() holds finished=False).
+            self._request(self._workers[target_id], "finish", [client.client_id])
+
+    def _open_on(self, worker, client: _PoolClient, checkpoint, replay) -> None:
+        payload = (
+            client.client_id,
+            client.query_name,
+            checkpoint,
+            replay,
+            dict(client.pushed_through),
+        )
+        self._request(worker, "open", payload)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _drain_outboxes(self, client_ids) -> dict[str, list]:
+        batches: dict[str, list] = {}
+        for client_id in client_ids:
+            client = self._clients[client_id]
+            if client.outbox:
+                batches[client_id] = client.outbox
+                client.outbox = []
+        return batches
+
+    def _request(self, worker, command, payload):
+        """One round trip; harvests piggybacked checkpoints from the reply."""
+        status, reply, checkpoints = worker.request(command, payload)
+        self._harvest(checkpoints)
+        if status != "ok":
+            raise ExecutionError(
+                f"worker {worker.worker_id} failed on {command!r}: {reply}"
+            )
+        return reply
+
+    def _harvest(self, checkpoints) -> None:
+        """Adopt piggybacked checkpoints and truncate the replay logs."""
+        for client_id, state in checkpoints or ():
+            client = self._clients.get(client_id)
+            if client is None:
+                continue
+            watermarks = state.get("watermarks") or {}
+            low = min(watermarks.values()) if watermarks else None
+            client.checkpoint = state
+            client.checkpoint_watermark = low
+            if low is not None:
+                horizon = low - self.retention_ticks
+                client.replay = [
+                    entry
+                    for entry in client.replay
+                    if _entry_watermark(entry) > horizon
+                ]
+
+    def _least_loaded(self) -> int:
+        live = [wid for wid, worker in self._workers.items() if worker.alive()]
+        if not live:
+            return self.add_worker()
+        load = {wid: 0 for wid in live}
+        for client in self._clients.values():
+            if client.worker_id in load:
+                load[client.worker_id] += 1
+        return min(live, key=lambda wid: (load[wid], wid))
+
+    def _worker(self, worker_id: int):
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise ExecutionError(
+                f"no worker {worker_id} in the pool (workers: {self.worker_ids})"
+            )
+        return worker
+
+    def _live_client(self, client_id: str) -> _PoolClient:
+        client = self._clients.get(client_id)
+        if client is None:
+            raise ExecutionError(
+                f"no connected client {client_id!r} "
+                f"(connected: {sorted(self._clients)})"
+            )
+        if client.finished:
+            raise ExecutionError(
+                f"client {client_id!r} is finished; no more data can arrive"
+            )
+        return client
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("the worker pool is closed")
+
+    def _shutdown_worker(self, worker) -> None:
+        try:
+            self._request(worker, "close", None)
+        except (_PoolWorkerDied, ExecutionError):  # pragma: no cover - defensive
+            pass
+        worker.reap()
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down every worker.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            if worker.alive():
+                try:
+                    worker.request("close", None)
+                except _PoolWorkerDied:
+                    pass
+            worker.reap()
+        self._workers.clear()
+
+    def __enter__(self) -> "IngestWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<IngestWorkerPool {len(self._clients)} client(s) on "
+            f"{len(self._workers)} worker(s), {self.execution_mode}>"
+        )

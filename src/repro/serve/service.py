@@ -34,6 +34,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.core.compiler import compile_plan
 from repro.core.engine import CompiledQuery, LifeStreamEngine
 from repro.core.runtime.backends import recommend_backend
@@ -56,6 +58,20 @@ COLD_START_EXPECTED_SECONDS = 0.0
 #: Minimum profiled ticks (and re-evaluation cadence) before the adaptive
 #: service considers recompiling a client's plan.
 ADAPT_MIN_TICKS = 3
+
+
+def _require_int_watermark(client_id, watermark) -> None:
+    """Reject non-integer watermarks before they fail deep in the tick loop.
+
+    ``bool`` is explicitly rejected even though it subclasses ``int`` — a
+    ``True`` watermark is always a caller bug, never stream time.
+    """
+    if isinstance(watermark, bool) or not isinstance(watermark, (int, np.integer)):
+        where = "" if client_id is None else f" for client {client_id!r}"
+        raise ValueError(
+            f"pump() watermark{where} must be an integer tick, got "
+            f"{watermark!r} ({type(watermark).__name__})"
+        )
 
 
 @dataclass
@@ -184,8 +200,16 @@ class StreamingService:
         query,
         sources,
         targeted: bool | None = None,
+        checkpoint=None,
     ) -> StreamingSession:
-        """Open a session for *client_id* over its own *sources*."""
+        """Open a session for *client_id* over its own *sources*.
+
+        Pass ``checkpoint=`` (a dict from
+        :meth:`StreamingSession.checkpoint` or a path to a pickled one) to
+        resume a previous session's stream position and carries — this is
+        how the ingest worker pool restores a dead worker's clients on a
+        peer.
+        """
         if client_id in self._clients:
             raise ExecutionError(
                 f"client {client_id!r} already has an open session; close it "
@@ -193,7 +217,7 @@ class StreamingService:
             )
         hits_before = self.engine.plan_cache.stats.hits
         compiled = self.engine.compile(query, sources)
-        session = compiled.open_session(targeted=targeted)
+        session = compiled.open_session(targeted=targeted, checkpoint=checkpoint)
         # The engine already computed the structural signature for its cache
         # lookup; reuse it (recomputing would re-fingerprint every callable
         # in the query).  It is None exactly when the query binds concrete
@@ -270,16 +294,27 @@ class StreamingService:
         genuinely new data (watermark ahead of the session's clock) tick
         first, ordered cheapest-expected-tick first from their accumulated
         :class:`TickStats`; idle re-announcements tick last (no-ops).
+
+        The batch is validated up front — an unknown client id or a non-int
+        watermark raises :class:`ValueError` naming the offending key,
+        instead of failing deep inside the tick loop; an empty mapping is a
+        cheap no-op.
         """
         if isinstance(watermarks, dict):
             batch = dict(watermarks)
+            if not batch:
+                self._pumps += 1
+                return ServicePumpReport()
             unknown = set(batch) - set(self._clients)
             if unknown:
-                raise ExecutionError(
+                raise ValueError(
                     f"pump() was given unknown client(s) {sorted(unknown)}; "
                     f"open sessions: {sorted(self._clients)}"
                 )
+            for client_id, watermark in batch.items():
+                _require_int_watermark(client_id, watermark)
         else:
+            _require_int_watermark(None, watermarks)
             batch = {
                 client_id: watermarks
                 for client_id, record in self._clients.items()
@@ -287,15 +322,62 @@ class StreamingService:
             }
         report = ServicePumpReport()
         for client_id in self._schedule(batch):
-            record = self._clients[client_id]
-            stats = record.session.advance(batch[client_id])
-            report.order.append(client_id)
-            report.ticks[client_id] = stats
-            self._observe(record, stats)
-            if self.adaptive and self._maybe_adapt(record):
-                report.swapped.append(client_id)
+            self._tick_client(client_id, report, watermark=batch[client_id])
         self._pumps += 1
         return report
+
+    def poll(self, client_ids=None) -> ServicePumpReport:
+        """Tick sessions whose sources were advanced *externally* (push path).
+
+        Where :meth:`pump` hand-delivers one watermark per client and
+        advances every replayed source to it, ``poll`` trusts that the
+        sources already moved — the ingest gateway appends pushed samples
+        straight into each client's :class:`~repro.core.sources.PushSource`,
+        which advances per-source watermarks as a side effect, and then
+        polls the affected sessions.  This matters for multi-stream clients
+        whose streams advance at different rates: pumping the minimum
+        watermark would trip the regression guard on the faster stream.
+
+        *client_ids* is an iterable of clients to tick (default: every open,
+        unfinished client).  Unknown ids raise :class:`ValueError`, like
+        :meth:`pump`; an empty batch is a cheap no-op.  The batch runs
+        cheapest-expected-tick first and feeds the same adaptive
+        recompilation loop as ``pump``.
+        """
+        if client_ids is None:
+            batch = [
+                client_id
+                for client_id, record in self._clients.items()
+                if not record.session.finished
+            ]
+        else:
+            batch = list(client_ids)
+            unknown = set(batch) - set(self._clients)
+            if unknown:
+                raise ValueError(
+                    f"poll() was given unknown client(s) {sorted(unknown)}; "
+                    f"open sessions: {sorted(self._clients)}"
+                )
+        report = ServicePumpReport()
+        for client_id in sorted(batch, key=self._expected_cost):
+            self._tick_client(client_id, report, watermark=None)
+        self._pumps += 1
+        return report
+
+    def _tick_client(
+        self, client_id: str, report: ServicePumpReport, watermark=None
+    ) -> None:
+        """Advance (or poll) one client and fold the tick into *report*."""
+        record = self._clients[client_id]
+        if watermark is None:
+            stats = record.session.poll()
+        else:
+            stats = record.session.advance(watermark)
+        report.order.append(client_id)
+        report.ticks[client_id] = stats
+        self._observe(record, stats)
+        if self.adaptive and self._maybe_adapt(record):
+            report.swapped.append(client_id)
 
     def _observe(self, record: ClientRecord, stats: TickStats) -> None:
         """Fold one tick into the client's shared signature profile."""

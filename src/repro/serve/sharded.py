@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 
 from repro.core.engine import LifeStreamEngine
 from repro.core.runtime.backends import fork_available
@@ -54,8 +55,22 @@ class _RegisteredClient:
     targeted: bool | None
 
 
-def _shard_worker_main(conn, engine: LifeStreamEngine, clients) -> None:
+class _WorkerDied(Exception):
+    """Internal: a shard's worker process died before replying."""
+
+    def __init__(self, shard: int, detail: str) -> None:
+        super().__init__(detail)
+        self.shard = shard
+        self.detail = detail
+
+
+def _shard_worker_main(conn, engine: LifeStreamEngine, clients, foreign_conns=()) -> None:
     """Worker loop: serve one shard of sessions over an inherited engine."""
+    # Close the other shards' inherited pipe ends first: if this worker kept
+    # them open, a sibling's death would not close its pipe's last write end
+    # and the parent would block on recv() instead of seeing EOF.
+    for foreign in foreign_conns:
+        foreign.close()
     service = StreamingService(engine=engine)
     try:
         for client in clients:
@@ -208,20 +223,30 @@ class ShardedStreamingService:
             shards[shard].append(client)
             self._assignment[client.client_id] = shard
         context = multiprocessing.get_context("fork")
-        for shard_clients in shards:
-            parent_conn, child_conn = context.Pipe()
+        # All pipes exist before any fork, so each worker can close every
+        # other shard's ends — see _shard_worker_main.
+        pairs = [context.Pipe() for _ in shards]
+        for index, shard_clients in enumerate(shards):
+            parent_conn, child_conn = pairs[index]
+            foreign = [
+                conn for pair in pairs for conn in pair if conn is not child_conn
+            ]
             worker = context.Process(
                 target=_shard_worker_main,
-                args=(child_conn, engine, shard_clients),
+                args=(child_conn, engine, shard_clients, foreign),
                 daemon=True,
             )
             worker.start()
-            child_conn.close()
             self._pipes.append(parent_conn)
             self._workers.append(worker)
+        for _, child_conn in pairs:
+            child_conn.close()
         # Each worker acknowledges once its shard's sessions are open.
-        for shard, pipe in enumerate(self._pipes):
-            status, payload = pipe.recv()
+        for shard in range(len(self._pipes)):
+            try:
+                status, payload = self._recv_from(shard)
+            except _WorkerDied as died:
+                self._fail([died])
             if status != "ok":
                 self.close()
                 raise ExecutionError(f"shard {shard} failed to open its sessions: {payload}")
@@ -256,7 +281,7 @@ class ShardedStreamingService:
         if isinstance(watermarks, dict):
             unknown = set(watermarks) - set(self._assignment)
             if unknown:
-                raise ExecutionError(
+                raise ValueError(
                     f"pump() was given unknown client(s) {sorted(unknown)}; "
                     f"registered: {sorted(self._assignment)}"
                 )
@@ -302,10 +327,16 @@ class ShardedStreamingService:
 
         Every outstanding reply is drained before an error is raised —
         leaving one unread would permanently shift that shard's pipe
-        protocol by one command for every later call.
+        protocol by one command for every later call.  A worker found dead
+        (closed pipe, or its process sentinel firing while the parent waits)
+        fails the whole service: the surviving workers are reaped and an
+        :class:`ExecutionError` names the dead shard and the clients whose
+        sessions it took down — their state is gone, and pretending the
+        other shards can keep serving would silently drop those clients.
         """
         sent: set[int] = set()
         errors: list[str] = []
+        deaths: list[_WorkerDied] = []
         for shard, (pipe, payload) in enumerate(zip(self._pipes, payloads)):
             if command == "pump" and isinstance(payload, dict) and not payload:
                 continue
@@ -313,23 +344,91 @@ class ShardedStreamingService:
                 pipe.send((command, payload))
                 sent.add(shard)
             except (BrokenPipeError, OSError) as exc:
-                errors.append(f"shard {shard} unreachable: {exc}")
+                deaths.append(_WorkerDied(shard, f"unreachable on send: {exc}"))
         replies = []
-        for shard, pipe in enumerate(self._pipes):
-            if shard not in sent:
-                continue
+        for shard in sorted(sent):
             try:
-                status, payload = pipe.recv()
-            except (EOFError, OSError) as exc:
-                errors.append(f"shard {shard} died mid-command: {exc}")
+                status, payload = self._recv_from(shard)
+            except _WorkerDied as died:
+                deaths.append(died)
                 continue
             if status != "ok":
                 errors.append(f"shard {shard} failed: {payload}")
             else:
                 replies.append(payload)
+        if deaths:
+            self._fail(deaths, errors)
         if errors:
             raise ExecutionError("; ".join(errors))
         return replies
+
+    def _recv_from(self, shard: int):
+        """Receive one reply from *shard*, detecting a dead worker.
+
+        Waits on the pipe *and* the worker's process sentinel, so a worker
+        that dies without its pipe end closing (e.g. the fd still inherited
+        somewhere) is still detected instead of blocking the parent forever.
+        A reply buffered before death is still drained.
+        """
+        pipe = self._pipes[shard]
+        worker = self._workers[shard]
+        while True:
+            ready = mp_connection.wait([pipe, worker.sentinel])
+            if pipe in ready or pipe.poll(0):
+                try:
+                    return pipe.recv()
+                except (EOFError, OSError) as exc:
+                    raise _WorkerDied(
+                        shard, f"connection closed mid-command ({type(exc).__name__})"
+                    ) from exc
+            if worker.sentinel in ready:
+                raise _WorkerDied(
+                    shard,
+                    f"worker process (pid {worker.pid}, exitcode "
+                    f"{worker.exitcode}) died mid-command",
+                )
+
+    def _shard_client_ids(self, shard: int) -> list[str]:
+        """Registered client ids living on *shard*, in registration order."""
+        return [
+            client_id
+            for client_id, assigned in self._assignment.items()
+            if assigned == shard
+        ]
+
+    def _fail(self, deaths: list[_WorkerDied], errors: list[str] | None = None) -> None:
+        """Reap every worker and raise, naming each dead shard's clients."""
+        messages = []
+        for died in deaths:
+            clients = self._shard_client_ids(died.shard)
+            messages.append(
+                f"shard {died.shard} died ({died.detail}); its client(s) "
+                f"{clients} lost their sessions"
+            )
+        messages.extend(errors or [])
+        self._reap()
+        self._closed = True
+        raise ExecutionError(
+            "; ".join(messages) + "; all workers have been reaped and the "
+            "service is closed — re-register the clients on a fresh service "
+            "(or use repro.ingest.IngestWorkerPool, which restores a dead "
+            "worker's sessions from checkpoints)"
+        )
+
+    def _reap(self) -> None:
+        """Terminate and join every worker, closing the pipes.  Idempotent."""
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.kill()
+                worker.join(timeout=5)
 
     def _require_started(self) -> None:
         if not self._started:

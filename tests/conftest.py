@@ -6,11 +6,33 @@ fast; the larger, realistic workloads live in ``benchmarks/``.
 
 from __future__ import annotations
 
+import asyncio
+import inspect
+
 import numpy as np
 import pytest
 
 from repro.core.engine import LifeStreamEngine
 from repro.core.sources import ArraySource
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    """Run ``async def`` tests on a fresh event loop.
+
+    The environment has no pytest-asyncio, so this in-repo hook provides
+    the equivalent: any coroutine test function is executed to completion
+    via :func:`asyncio.run` (one new loop per test — no state leaks
+    between tests), with its fixtures passed through unchanged.
+    """
+    if inspect.iscoroutinefunction(pyfuncitem.obj):
+        kwargs = {
+            name: pyfuncitem.funcargs[name]
+            for name in pyfuncitem._fixtureinfo.argnames
+        }
+        asyncio.run(pyfuncitem.obj(**kwargs))
+        return True
+    return None
 
 
 @pytest.fixture

@@ -295,6 +295,108 @@ class TestSessionCheckpoint:
             )
 
 
+class TestCheckpointDurability:
+    """Crash-safety of the on-disk checkpoint path (failover depends on it)."""
+
+    def _open(self, engine, **kwargs):
+        return engine.open_session(
+            SESSION_QUERIES["sliding"](), {"s": ReplaySource(_source())}, **kwargs
+        )
+
+    def test_truncated_checkpoint_raises_a_clear_error(self, tmp_path):
+        engine = LifeStreamEngine(window_size=1000)
+        session = self._open(engine)
+        session.advance(5000)
+        path = tmp_path / "session.ckpt"
+        session.checkpoint(path)
+        session.close()
+        # Truncate the file to simulate a torn write from a non-atomic writer.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ExecutionError, match="truncated or corrupt"):
+            self._open(engine, checkpoint=path)
+        # A file that unpickles to a non-dict is equally rejected.
+        import pickle
+
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(ExecutionError, match="does not hold a checkpoint"):
+            self._open(engine, checkpoint=path)
+
+    def test_atomic_write_survives_injected_crash(self, tmp_path, monkeypatch):
+        engine = LifeStreamEngine(window_size=1000)
+        session = self._open(engine)
+        session.advance(4000)
+        path = tmp_path / "session.ckpt"
+        session.checkpoint(path)
+        good = path.read_bytes()
+        session.advance(7000)
+
+        import pickle as pickle_module
+
+        real_dump = pickle_module.dump
+
+        def torn_dump(obj, handle, *args, **kwargs):
+            # Write garbage bytes, then die mid-checkpoint.
+            handle.write(b"partial checkpoint bytes")
+            raise OSError("injected crash mid-checkpoint")
+
+        monkeypatch.setattr("repro.core.runtime.session.pickle.dump", torn_dump)
+        with pytest.raises(OSError, match="injected crash"):
+            session.checkpoint(path)
+        monkeypatch.setattr("repro.core.runtime.session.pickle.dump", real_dump)
+        # The previous checkpoint is untouched: same bytes, still restorable,
+        # and no temp-file debris is left next to it.
+        assert path.read_bytes() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["session.ckpt"]
+        session.close()
+        restored = self._open(engine, checkpoint=path)
+        assert restored.watermark == 4000
+        restored.close()
+
+    def test_checkpoint_hook_fires_on_cadence(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = self._open(engine)
+        seen = []
+        session.set_checkpoint_hook(seen.append, every_ticks=2)
+        for watermark in (2000, 4000, 6000, 8000, 9000):
+            session.advance(watermark)
+        # 5 ticks at cadence 2 -> checkpoints after ticks 2 and 4.
+        assert len(seen) == 2
+        assert all(state["format"] == "lifestream-session-checkpoint/v1" for state in seen)
+        assert seen[0]["watermarks"]["s"] == 4000
+        assert seen[1]["watermarks"]["s"] == 8000
+        # finish() drains in one more tick -> the 6th tick completes cadence 3.
+        session.finish()
+        assert len(seen) == 3 and seen[2]["watermarks"]["s"] >= 9000
+        session.close()
+
+    def test_checkpoint_hook_state_restores_bit_identically(self):
+        reference, _ = _run_session(SESSION_QUERIES["sliding"], True, None)
+        engine = LifeStreamEngine(window_size=1000)
+        session = self._open(engine, targeted=True)
+        states = []
+        session.set_checkpoint_hook(states.append, every_ticks=1)
+        for watermark in WATERMARKS[:4]:
+            session.advance(watermark)
+        session.close()
+        # Restore from the cadence hook's latest snapshot and keep going.
+        restored = self._open(engine, targeted=True, checkpoint=states[-1])
+        for watermark in WATERMARKS[4:]:
+            restored.advance(watermark)
+        restored.finish()
+        _assert_identical(reference, restored.result(), "cadence-hook restore")
+        restored.close()
+
+    def test_checkpoint_hook_rejects_bad_cadence(self):
+        engine = LifeStreamEngine(window_size=1000)
+        session = self._open(engine)
+        with pytest.raises(ExecutionError, match="cadence"):
+            session.set_checkpoint_hook(lambda state: None, every_ticks=0)
+        # Uninstalling is allowed regardless of the cadence argument.
+        session.set_checkpoint_hook(None, every_ticks=0)
+        session.close()
+
+
 class TestSessionLifecycle:
     def test_one_shot_run_rejected_while_session_open(self):
         engine = LifeStreamEngine(window_size=1000)

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.intervals import IntervalSet
-from repro.core.sources import ArraySource, CsvSource, ReplaySource, write_csv
+from repro.core.sources import (
+    ArraySource,
+    CsvSource,
+    PushSource,
+    ReplaySource,
+    write_csv,
+)
 from repro.errors import StreamDefinitionError
 
 
@@ -229,3 +235,120 @@ class TestReplaySource:
         replay = ReplaySource(inner, watermark=50)
         with pytest.raises(StreamDefinitionError):
             replay.advance(10)
+
+
+class TestPushSource:
+    def test_starts_empty_and_grows_with_appends(self):
+        push = PushSource(period=2)
+        assert push.event_count() == 0
+        assert push.coverage().is_empty()
+        assert push.watermark == 0
+        watermark = push.append(np.arange(0, 10, 2), np.arange(5.0))
+        assert watermark == 10 and push.watermark == 10
+        watermark = push.append(np.arange(10, 20, 2), np.arange(5.0, 10.0))
+        assert watermark == 20
+        assert push.event_count() == 10
+        times, values, durations = push.read(0, 100)
+        np.testing.assert_array_equal(times, np.arange(0, 20, 2))
+        np.testing.assert_array_equal(values, np.arange(10.0))
+        assert set(durations.tolist()) == {2}
+        assert push.coverage().span() == (0, 20)
+
+    def test_is_a_replay_source(self):
+        # Sessions gate readiness on isinstance(source, ReplaySource); the
+        # push path plugs in through that exact contract.
+        assert isinstance(PushSource(period=2), ReplaySource)
+
+    def test_read_never_exposes_beyond_watermark(self):
+        push = PushSource(period=2)
+        push.append(np.arange(0, 20, 2), np.arange(10.0))
+        push._watermark = 10  # pretend only part is announced
+        times, _, _ = push.read(0, 100)
+        assert times.max() < 10
+
+    def test_heartbeat_advance_without_data(self):
+        push = PushSource(period=2)
+        push.append(np.arange(0, 10, 2), np.arange(5.0))
+        push.advance(600)  # "no data through 600"
+        assert push.watermark == 600
+        with pytest.raises(StreamDefinitionError, match="forward"):
+            push.advance(10)
+        # Appending later data after a silence is fine.
+        push.append(np.asarray([600]), np.asarray([1.0]))
+        assert push.watermark == 602
+
+    def test_rejects_out_of_order_and_overlapping_batches(self):
+        push = PushSource(period=2)
+        push.append(np.arange(0, 10, 2), np.arange(5.0))
+        with pytest.raises(StreamDefinitionError, match="time order"):
+            push.append(np.asarray([4]), np.asarray([9.0]))
+        with pytest.raises(StreamDefinitionError, match="time order"):
+            push.append(np.asarray([8]), np.asarray([9.0]))  # duplicate of last
+        with pytest.raises(StreamDefinitionError, match="strictly increasing"):
+            push.append(np.asarray([20, 20]), np.asarray([1.0, 2.0]))
+
+    def test_rejects_off_grid_and_bad_shapes(self):
+        push = PushSource(period=2, offset=0)
+        with pytest.raises(StreamDefinitionError, match="grid"):
+            push.append(np.asarray([3]), np.asarray([1.0]))
+        with pytest.raises(StreamDefinitionError, match="same shape"):
+            push.append(np.asarray([2, 4]), np.asarray([1.0]))
+        with pytest.raises(StreamDefinitionError, match="positive"):
+            push.append(np.asarray([2]), np.asarray([1.0]), durations=np.asarray([0]))
+        with pytest.raises(StreamDefinitionError, match="period must be positive"):
+            PushSource(period=0)
+
+    def test_empty_append_is_a_noop(self):
+        push = PushSource(period=2)
+        push.append(np.arange(0, 10, 2), np.arange(5.0))
+        assert push.append(np.empty(0, dtype=np.int64), np.empty(0)) == 10
+        assert push.event_count() == 5
+
+    def test_explicit_durations_extend_coverage_and_watermark(self):
+        push = PushSource(period=4)
+        push.append(np.asarray([0, 4]), np.asarray([1.0, 2.0]), durations=np.asarray([4, 12]))
+        assert push.watermark == 16
+        assert push.coverage().span() == (0, 16)
+
+    def test_buffer_growth_preserves_history(self):
+        push = PushSource(period=1)
+        total = 5000  # forces several capacity doublings past the 1024 floor
+        for start in range(0, total, 7):
+            times = np.arange(start, min(start + 7, total), dtype=np.int64)
+            push.append(times, times.astype(np.float64))
+        times, values, _ = push.read(0, total)
+        np.testing.assert_array_equal(times, np.arange(total))
+        np.testing.assert_array_equal(values, np.arange(total, dtype=np.float64))
+
+    def test_session_over_pushed_stream_matches_one_shot(self):
+        # The core push-path guarantee: a session fed by incremental appends
+        # emits bit-identically to a one-shot run over the same data.
+        from repro.core.engine import LifeStreamEngine
+        from repro.core.query import Query
+
+        def query():
+            return (
+                Query.source("s", frequency_hz=500)
+                .select(lambda v: v * 2 + 1)
+                .sliding_window(200, 100)
+                .mean()
+            )
+
+        n = 4000
+        times = np.arange(n, dtype=np.int64) * 2
+        values = np.sin(np.arange(n) * 0.01) * 10
+        engine = LifeStreamEngine(window_size=1000)
+        reference = engine.run(query(), {"s": ArraySource(times, values, period=2)})
+
+        push = PushSource(period=2)
+        session = engine.open_session(query(), {"s": push})
+        for start in range(0, n, 333):
+            stop = min(start + 333, n)
+            push.append(times[start:stop], values[start:stop])
+            session.poll()
+        session.finish()
+        result = session.result()
+        np.testing.assert_array_equal(reference.times, result.times)
+        np.testing.assert_array_equal(reference.values, result.values)
+        np.testing.assert_array_equal(reference.durations, result.durations)
+        session.close()

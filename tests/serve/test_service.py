@@ -376,8 +376,32 @@ class TestStreamingService:
         report = service.pump({"a": 3000})
         assert set(report.order) == {"a"}
         assert service.session("b").watermark < 3000
-        with pytest.raises(ExecutionError, match="unknown client"):
+        with pytest.raises(ValueError, match="unknown client.*'c'"):
             service.pump({"c": 1000})
+        service.close_all()
+
+    def test_pump_validates_batch_up_front(self):
+        # Satellite contract: unknown ids and non-int watermarks raise a
+        # clear ValueError naming the offending key, before any session
+        # ticks; an empty batch is a cheap no-op.
+        service = StreamingService(window_size=1000)
+        service.open("a", _cohort_query(), {"s": ReplaySource(_source(1))})
+        with pytest.raises(ValueError, match="watermark for client 'a'.*3000.5"):
+            service.pump({"a": 3000.5})
+        with pytest.raises(ValueError, match="watermark for client 'a'.*str"):
+            service.pump({"a": "3000"})
+        with pytest.raises(ValueError, match="watermark for client 'a'.*bool"):
+            service.pump({"a": True})
+        with pytest.raises(ValueError, match="watermark.*must be an integer"):
+            service.pump(None)
+        # Nothing above ticked the session.
+        assert service.session("a").ticks == []
+        # numpy integers are integers.
+        report = service.pump({"a": np.int64(3000)})
+        assert report.order == ["a"]
+        # Empty batch: no work, no error, empty report.
+        empty = service.pump({})
+        assert empty.order == [] and empty.ticks == {}
         service.close_all()
 
     def test_watermark_regression_propagates(self):
@@ -484,7 +508,7 @@ class TestShardedStreamingService:
         service.start()
         report = service.pump({"client-0": 4000, "client-3": 6000})
         assert set(report.order) == {"client-0", "client-3"}
-        with pytest.raises(ExecutionError, match="unknown client"):
+        with pytest.raises(ValueError, match="unknown client"):
             service.pump({"nope": 1000})
         service.close()
 
@@ -507,6 +531,37 @@ class TestShardedStreamingService:
         results = service.results()
         assert set(results) == {f"client-{seed}" for seed in seeds}
         service.close()
+
+    @pytest.mark.skipif(
+        not ShardedStreamingService._fork_available(), reason="fork not available"
+    )
+    def test_worker_death_is_detected_and_named(self):
+        # Satellite contract: a worker dying mid-command must not leave the
+        # parent blocked on the pipe — the death is detected, the remaining
+        # workers are reaped, and the error names the dead shard and the
+        # clients whose sessions it held.
+        import os
+        import signal
+
+        seeds = range(4)
+        service = ShardedStreamingService(n_workers=2, window_size=1000)
+        self._register_cohort(service, seeds)
+        service.start()
+        assert service.execution_mode == "forked"
+        service.pump(4000)
+        victim = service._workers[1]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        with pytest.raises(ExecutionError, match=r"shard 1 died") as excinfo:
+            service.pump(6000)
+        # The error names the dead shard's clients (round-robin: 1 and 3).
+        assert "client-1" in str(excinfo.value)
+        assert "client-3" in str(excinfo.value)
+        # Every worker was reaped, and the service is closed for good.
+        assert all(not worker.is_alive() for worker in service._workers)
+        with pytest.raises(ExecutionError, match="closed"):
+            service.pump(8000)
+        service.close()  # idempotent no-op after the failure
 
     def test_lifecycle_errors(self):
         service = ShardedStreamingService(n_workers=2, window_size=1000)
