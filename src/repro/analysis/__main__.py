@@ -1,0 +1,137 @@
+"""CLI for the static-analysis subsystem.
+
+::
+
+    python -m repro.analysis                       # all three analyzers
+    python -m repro.analysis --contracts           # operator contracts only
+    python -m repro.analysis --lint-async          # ingest async lint only
+    python -m repro.analysis --plan e2e            # verify a named pipeline
+    python -m repro.analysis --format json         # machine-readable report
+
+Exits 1 when any error-level diagnostic is found (warnings and info do not
+fail the build), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.async_lint import lint_async_paths
+from repro.analysis.contracts import check_contracts
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    count_by_severity,
+    has_errors,
+    render_json,
+    render_text,
+)
+from repro.analysis.plan_verifier import verify_compiled_plan
+
+
+def _build_e2e_plan():
+    """The fig9c end-to-end pipeline over a small synthesized dataset."""
+    from repro.bench.workloads import e2e_dataset
+    from repro.core.compiler import compile_plan
+    from repro.core.sources import ArraySource
+    from repro.core.timeutil import period_from_hz
+    from repro.pipelines.e2e import ABP_HZ, ECG_HZ, lifestream_e2e_query
+
+    ecg, abp = e2e_dataset(duration_seconds=5.0, seed=0)
+    sources = {
+        "ecg": ArraySource(ecg[0], ecg[1], period=period_from_hz(ECG_HZ)),
+        "abp": ArraySource(abp[0], abp[1], period=period_from_hz(ABP_HZ)),
+    }
+    return compile_plan(lifestream_e2e_query(), sources)
+
+
+def _build_linezero_plan():
+    """The LineZero artifact-detection pipeline over a synthesized record."""
+    from repro.bench.workloads import e2e_dataset
+    from repro.core.compiler import compile_plan
+    from repro.core.sources import ArraySource
+    from repro.core.timeutil import period_from_hz
+    from repro.pipelines.linezero import ABP_HZ, linezero_query
+
+    _, abp = e2e_dataset(duration_seconds=5.0, seed=0)
+    sources = {"abp": ArraySource(abp[0], abp[1], period=period_from_hz(ABP_HZ))}
+    return compile_plan(linezero_query(), sources)
+
+
+#: Example pipelines the plan verifier can run over by name.
+PLAN_BUILDERS = {
+    "e2e": _build_e2e_plan,
+    "linezero": _build_linezero_plan,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis: plan verification, operator-contract "
+        "conformance, and async-safety linting.",
+    )
+    parser.add_argument(
+        "--plan",
+        action="append",
+        choices=sorted(PLAN_BUILDERS),
+        metavar="NAME",
+        help="verify a named example pipeline's compiled plan (repeatable; "
+        f"choices: {', '.join(sorted(PLAN_BUILDERS))})",
+    )
+    parser.add_argument(
+        "--contracts",
+        action="store_true",
+        help="run the operator-contract conformance analyzer",
+    )
+    parser.add_argument(
+        "--lint-async",
+        action="store_true",
+        help="run the async-safety linter over the ingest tier",
+    )
+    parser.add_argument(
+        "--lint-path",
+        action="append",
+        metavar="PATH",
+        help="extra file/directory for --lint-async (default: repro.ingest)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+
+    run_all = not (args.plan or args.contracts or args.lint_async)
+    diagnostics: list[Diagnostic] = []
+    checks_run: list[str] = []
+
+    plans = args.plan if args.plan else (sorted(PLAN_BUILDERS) if run_all else [])
+    for name in plans:
+        plan = PLAN_BUILDERS[name]()
+        found = verify_compiled_plan(plan)
+        diagnostics.extend(
+            Diagnostic(d.code, d.severity, d.message, anchor=f"{name}:{d.anchor}" if d.anchor else name, check=d.check)
+            for d in found
+        )
+        checks_run.append(f"plan:{name}")
+
+    if args.contracts or run_all:
+        diagnostics.extend(check_contracts())
+        checks_run.append("contracts")
+
+    if args.lint_async or run_all or args.lint_path:
+        diagnostics.extend(lint_async_paths(args.lint_path))
+        checks_run.append("lint-async")
+
+    if args.format == "json":
+        print(render_json(diagnostics, extra={"checks": checks_run}))
+    else:
+        print(f"checks: {', '.join(checks_run)}")
+        print(render_text(diagnostics))
+
+    counts = count_by_severity(diagnostics)
+    if has_errors(diagnostics):
+        print(f"FAILED: {counts['error']} error-level finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""AST-based async-safety linting (the ``LS3xx`` diagnostics).
+
+The ingest tier (:mod:`repro.ingest`) runs on asyncio: one event loop
+serves every connected client, so a single blocking call inside an
+``async def`` stalls all of them, an unawaited coroutine silently drops
+the work it was supposed to do, and an unbounded queue removes the
+backpressure the gateway's flow control depends on.  None of those fail
+loudly — they degrade under load.  This linter finds them statically:
+
+- **LS301** — blocking calls (``time.sleep``, synchronous pipe
+  ``recv``/``poll``, file and subprocess I/O) lexically inside an
+  ``async def`` body (nested synchronous ``def``s are excluded — they run
+  wherever they are called, e.g. in an executor).
+- **LS302** — coroutine-producing calls used as bare expression
+  statements without ``await``: the coroutine object is created and
+  immediately garbage-collected, so its body never runs.  Detection is
+  module-local (calls to ``async def``s defined in the same file, plus
+  well-known ``asyncio`` coroutine factories).
+- **LS303** — ``asyncio.Queue()`` / ``collections.deque()`` constructed
+  without ``maxsize``/``maxlen`` (or with an explicit 0, which asyncio
+  treats as infinite).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Dotted calls that block the calling thread.  Matched against the
+#: lexical call text (``module.attr`` chains rooted at a plain name), so
+#: aliased imports evade the net — acceptable for a linter.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.read",
+        "os.write",
+        "os.fsync",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "shutil.copy",
+        "shutil.copyfile",
+    }
+)
+
+#: Bare built-ins that perform blocking I/O.
+BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+#: Method names that block on pipes/sockets/processes when called
+#: synchronously (``Connection.recv``, ``Connection.recv_bytes``, ...).
+#: Deliberately narrow — common names like ``poll`` or ``join`` are used by
+#: plenty of non-blocking APIs and would drown the report in noise.
+BLOCKING_METHODS = frozenset({"recv", "recv_bytes", "send_bytes"})
+
+#: ``asyncio`` helpers that return coroutines/futures which are inert
+#: unless awaited (or wrapped in a task).
+ASYNCIO_COROUTINE_FACTORIES = frozenset(
+    {"asyncio.sleep", "asyncio.gather", "asyncio.wait", "asyncio.wait_for"}
+)
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for attribute chains rooted at a plain name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _collect_async_names(tree: ast.Module) -> set[str]:
+    """Bare names of every ``async def`` in the module (methods included)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            names.add(node.name)
+    return names
+
+
+def _queue_bound_missing(call: ast.Call, keyword: str) -> bool:
+    """True when the bounding keyword is absent, or an explicit 0/None."""
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            if isinstance(kw.value, ast.Constant) and kw.value.value in (0, None):
+                return True
+            return False
+        if kw.arg is None:  # **kwargs — assume the caller bounded it
+            return False
+    if call.args:  # positional maxsize/iterable — assume bounded
+        return False
+    return True
+
+
+class _AsyncLintVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, async_names: set[str]) -> None:
+        self.path = path
+        self.async_names = async_names
+        self.diagnostics: list[Diagnostic] = []
+        #: Lexical stack: True per enclosing async function, False per sync.
+        self._function_stack: list[bool] = []
+
+    # -- scope tracking ----------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(False)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_stack.append(True)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    @property
+    def _in_async(self) -> bool:
+        return bool(self._function_stack) and self._function_stack[-1]
+
+    def _emit(self, code: str, severity: str, message: str, line: int) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code,
+                severity,
+                message,
+                anchor=f"{self.path}:{line}",
+                check="async",
+            )
+        )
+
+    # -- findings ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if self._in_async:
+            if dotted in BLOCKING_CALLS:
+                self._emit(
+                    "LS301",
+                    "error",
+                    f"blocking call {dotted}() inside 'async def' stalls the "
+                    "event loop; use the asyncio equivalent or "
+                    "run_in_executor",
+                    node.lineno,
+                )
+            elif isinstance(node.func, ast.Name) and node.func.id in BLOCKING_BUILTINS:
+                self._emit(
+                    "LS301",
+                    "error",
+                    f"blocking built-in {node.func.id}() inside 'async def' "
+                    "performs synchronous I/O on the event loop",
+                    node.lineno,
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BLOCKING_METHODS
+                and dotted not in ASYNCIO_COROUTINE_FACTORIES
+            ):
+                self._emit(
+                    "LS301",
+                    "error",
+                    f"synchronous .{node.func.attr}() inside 'async def' "
+                    "blocks the event loop (pipe/socket receive); move it to "
+                    "an executor or a worker thread",
+                    node.lineno,
+                )
+        if dotted is not None and (
+            dotted.startswith("asyncio.Queue") or dotted == "collections.deque"
+        ):
+            keyword = "maxsize" if "Queue" in dotted else "maxlen"
+            if _queue_bound_missing(node, keyword):
+                self._emit(
+                    "LS303",
+                    "warning",
+                    f"{dotted}() constructed without {keyword}: the queue is "
+                    "unbounded, so a slow consumer grows it without "
+                    "backpressure",
+                    node.lineno,
+                )
+        elif isinstance(node.func, ast.Name) and node.func.id in ("Queue", "deque"):
+            keyword = "maxsize" if node.func.id == "Queue" else "maxlen"
+            if _queue_bound_missing(node, keyword):
+                self._emit(
+                    "LS303",
+                    "warning",
+                    f"{node.func.id}() constructed without {keyword}: the "
+                    "queue is unbounded, so a slow consumer grows it without "
+                    "backpressure",
+                    node.lineno,
+                )
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if isinstance(call, ast.Call):
+            dotted = _dotted_name(call.func)
+            target = None
+            if dotted in ASYNCIO_COROUTINE_FACTORIES:
+                target = dotted
+            elif isinstance(call.func, ast.Name) and call.func.id in self.async_names:
+                target = call.func.id
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in self.async_names
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id == "self"
+            ):
+                # Only ``self.method()`` — other receivers may share a
+                # method name with an async def without being coroutines
+                # (e.g. a sync source.advance vs the gateway's async one).
+                target = call.func.attr
+            if target is not None:
+                self._emit(
+                    "LS302",
+                    "error",
+                    f"coroutine {target}(...) is created and discarded "
+                    "without await; its body never runs (wrap it in "
+                    "asyncio.create_task() if it should run concurrently)",
+                    node.lineno,
+                )
+        self.generic_visit(node)
+
+
+def lint_async_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one Python source text, returning every finding."""
+    tree = ast.parse(source, filename=path)
+    visitor = _AsyncLintVisitor(path, _collect_async_names(tree))
+    visitor.visit(tree)
+    return visitor.diagnostics
+
+
+def default_lint_roots() -> list[Path]:
+    """The directories linted when none are given: the asyncio ingest tier."""
+    import repro.ingest
+
+    return [Path(repro.ingest.__file__).parent]
+
+
+def lint_async_paths(paths=None) -> list[Diagnostic]:
+    """Lint every ``.py`` file under *paths* (default: ``repro.ingest``)."""
+    roots = [Path(p) for p in paths] if paths else default_lint_roots()
+    diagnostics: list[Diagnostic] = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            diagnostics.extend(
+                lint_async_source(file.read_text(encoding="utf-8"), path=str(file))
+            )
+    return diagnostics

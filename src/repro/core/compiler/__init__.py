@@ -12,9 +12,15 @@ drives the ordered pass pipeline of :mod:`repro.core.compiler.passes`:
 4. ``fuse_elementwise`` — element-wise operator fusion
    (:mod:`repro.core.compiler.fusion`),
 5. ``memory``           — static memory allocation
-   (:mod:`repro.core.compiler.memory`).
+   (:mod:`repro.core.compiler.memory`),
+6. ``verify``           — static plan verification
+   (:mod:`repro.analysis.plan_verifier`), whose findings land on
+   :attr:`CompiledPlan.diagnostics`.
 
 Every pass is timed; :meth:`CompiledPlan.explain` reports the timeline.
+``compile_plan(..., strict=True)`` raises
+:class:`~repro.errors.PlanVerificationError` when verification produces
+error-level diagnostics.
 """
 
 from __future__ import annotations
@@ -43,13 +49,15 @@ from repro.core.compiler.passes import (
     PassContext,
     PassManager,
     PassTiming,
+    VectorizePass,
+    VerifyPass,
 )
 from repro.core.graph import OperatorNode, PlanNode, SourceNode
 from repro.core.intervals import IntervalSet
 from repro.core.query import Query, QuerySpec
 from repro.core.sources import StreamSource
 from repro.core.timeutil import TICKS_PER_MINUTE
-from repro.errors import CompilationError, QueryConstructionError
+from repro.errors import CompilationError, PlanVerificationError, QueryConstructionError
 
 __all__ = [
     "build_plan",
@@ -66,6 +74,8 @@ __all__ = [
     "LocalityPass",
     "FuseElementwisePass",
     "MemoryPass",
+    "VectorizePass",
+    "VerifyPass",
     "MAX_OPTIMIZATION_LEVEL",
     "FusionReport",
     "fuse_elementwise",
@@ -145,6 +155,9 @@ class CompiledPlan:
     #: Profile-derived overrides the plan was compiled with (None when the
     #: pipeline ran on its static defaults).
     hints: CompileHints | None = None
+    #: Findings from the verify pass (:class:`repro.analysis.Diagnostic`).
+    #: Empty for clean plans and for custom pipelines without a verify pass.
+    diagnostics: list = field(default_factory=list)
 
     def instantiate(
         self,
@@ -237,6 +250,9 @@ class CompiledPlan:
             tracer=self.tracer,
             optimization_level=self.optimization_level,
             hints=self.hints,
+            # Verification is a property of the plan shape, which the clone
+            # shares with its template.
+            diagnostics=self.diagnostics,
         )
 
     def explain(self) -> str:
@@ -257,6 +273,9 @@ class CompiledPlan:
                 note = self.pass_metadata.get(timing.name)
                 suffix = f"  ({note})" if note else ""
                 lines.append(f"  {timing.name:<18} {timing.seconds * 1e3:8.3f} ms{suffix}")
+        if self.diagnostics:
+            lines.append("diagnostics:")
+            lines.extend(f"  {d.render()}" for d in self.diagnostics)
         return "\n".join(lines)
 
 
@@ -268,6 +287,7 @@ def compile_plan(
     optimization_level: int = MAX_OPTIMIZATION_LEVEL,
     pass_manager: PassManager | None = None,
     hints: CompileHints | None = None,
+    strict: bool = False,
 ) -> CompiledPlan:
     """Compile *query* into an executable :class:`CompiledPlan`.
 
@@ -276,7 +296,10 @@ def compile_plan(
     A custom ``pass_manager`` replaces the default pipeline entirely.
     ``hints`` threads profile-derived overrides (:class:`CompileHints`) into
     the pipeline — advisory per-decision tweaks that never change the
-    plan's output, only how it executes.
+    plan's output, only how it executes.  ``strict`` raises
+    :class:`~repro.errors.PlanVerificationError` when plan verification
+    produces error-level diagnostics (verification runs even when a custom
+    ``pass_manager`` omits the verify pass).
     """
     if not 0 <= optimization_level <= MAX_OPTIMIZATION_LEVEL:
         raise CompilationError(
@@ -298,6 +321,19 @@ def compile_plan(
         raise CompilationError("pass pipeline did not allocate memory for the plan")
     if ctx.coverage is None:
         raise CompilationError("pass pipeline did not compute output coverage")
+    diagnostics = ctx.diagnostics
+    if strict:
+        if "verify" not in manager.pass_names:
+            from repro.analysis.plan_verifier import verify_plan_graph
+
+            diagnostics = verify_plan_graph(sink, hints=hints)
+        errors = [d for d in diagnostics if d.severity == "error"]
+        if errors:
+            raise PlanVerificationError(
+                f"plan verification found {len(errors)} error(s): "
+                + "; ".join(d.render() for d in errors),
+                diagnostics=diagnostics,
+            )
     return CompiledPlan(
         sink=sink,
         window_size=window_size,
@@ -310,4 +346,5 @@ def compile_plan(
         tracer=tracer,
         optimization_level=optimization_level,
         hints=hints,
+        diagnostics=diagnostics,
     )

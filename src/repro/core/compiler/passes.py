@@ -14,7 +14,11 @@ over an explicit plan IR, run by a :class:`PassManager`:
 5. ``vectorize``         — mark which operator nodes lower to whole-run
    array kernels (:mod:`repro.core.runtime.vectorized`), with per-node
    fallback for the rest;
-6. ``memory``            — static allocation of every FWindow buffer.
+6. ``memory``            — static allocation of every FWindow buffer;
+7. ``verify``            — static plan verification
+   (:mod:`repro.analysis.plan_verifier`): re-prove the invariants the
+   earlier passes are supposed to establish and surface the findings as
+   structured diagnostics on the compiled plan.
 
 Each pass is timed; the timeline is stored on the resulting
 :class:`~repro.core.compiler.CompiledPlan` and reported by its
@@ -73,6 +77,9 @@ class PassContext:
     #: ``None`` keeps every static decision.  Each pass consumes only the
     #: fields it understands.
     hints: object = None
+    #: Findings from the verify pass (:class:`repro.analysis.Diagnostic`),
+    #: carried onto :attr:`CompiledPlan.diagnostics`.
+    diagnostics: list = field(default_factory=list)
 
     def require_sink(self) -> PlanNode:
         """The plan IR, raising if no plan-building pass has run yet."""
@@ -177,6 +184,31 @@ class MemoryPass(CompilerPass):
         ctx.memory_plan = allocate(ctx.require_sink(), tracer=ctx.tracer)
 
 
+class VerifyPass(CompilerPass):
+    """Static plan verification: re-prove what the earlier passes established.
+
+    Runs :func:`repro.analysis.plan_verifier.verify_plan_graph` over the
+    finished plan IR — dimension algebra, time-map soundness, join grid
+    alignment, fused-chain legality, dead operators, source liveness and
+    vectorized-lowering availability — and records the findings on
+    ``ctx.diagnostics``.  Analysis only: the graph is never rewritten, and
+    findings do not abort compilation here (``compile_plan(strict=True)``
+    raises on error-level findings after the pipeline completes).
+    """
+
+    name = "verify"
+
+    def run(self, ctx: PassContext) -> None:
+        # Imported lazily for the same reason as VectorizePass: the analysis
+        # package reaches back into the compiler and runtime.
+        from repro.analysis.diagnostics import summarize
+        from repro.analysis.plan_verifier import verify_plan_graph
+
+        findings = verify_plan_graph(ctx.require_sink(), hints=ctx.hints)
+        ctx.diagnostics.extend(findings)
+        ctx.metadata["verify"] = summarize(findings)
+
+
 class PassManager:
     """Runs an ordered pass pipeline over a :class:`PassContext`, timing each pass."""
 
@@ -199,6 +231,7 @@ class PassManager:
                 FuseElementwisePass(),
                 VectorizePass(),
                 MemoryPass(),
+                VerifyPass(),
             ]
         )
 

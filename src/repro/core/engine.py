@@ -151,6 +151,7 @@ class LifeStreamEngine:
         backend: ExecutionBackend | None = None,
         optimization_level: int = MAX_OPTIMIZATION_LEVEL,
         plan_cache=None,
+        strict: bool = False,
     ) -> None:
         if window_size <= 0:
             raise ExecutionError(f"window size must be positive, got {window_size}")
@@ -159,6 +160,10 @@ class LifeStreamEngine:
         self.tracer = tracer
         self.backend = backend
         self.optimization_level = optimization_level
+        #: Refuse plans whose verify pass found error-level diagnostics:
+        #: every compile raises :class:`~repro.errors.PlanVerificationError`
+        #: instead of returning a plan that is statically known unsound.
+        self.strict = strict
         #: Optional :class:`~repro.serve.cache.PlanCache`.  When set,
         #: ``compile()`` looks the query up by structural signature and, on a
         #: hit, hands back a per-client ``instantiate()`` clone of the cached
@@ -208,6 +213,7 @@ class LifeStreamEngine:
                 tracer=self.tracer,
                 optimization_level=self.optimization_level,
                 hints=hints,
+                strict=self.strict,
             )
         return CompiledQuery(plan, targeted=self.targeted, backend=self.backend)
 
@@ -259,6 +265,7 @@ class LifeStreamEngine:
                 window_size=self.window_size,
                 tracer=self.tracer,
                 optimization_level=self.optimization_level,
+                strict=self.strict,
             ),
         )
 

@@ -175,6 +175,18 @@ class AlterDuration(WindowAgnosticRun, Operator):
             raise ValueError(f"duration must be positive, got {duration}")
         self.duration = int(duration)
 
+    def propagate_coverage(self, coverages):
+        covered = super().propagate_coverage(coverages)
+        # Sync times are unchanged but every event now stays active for
+        # ``duration`` ticks, so data extends up to ``duration - 1`` ticks
+        # past each covered interval (the input period is not visible here;
+        # period >= 1 bounds the overhang).  Without the dilation a
+        # downstream interval consumer — Chop splitting the stretched tail
+        # of the last event, say — produces events past the declared
+        # coverage, and targeted execution never schedules the window that
+        # would emit them.
+        return covered.dilate(0, self.duration - 1)
+
     def compute(self, output: FWindow, inputs: Sequence[FWindow], state) -> None:
         source = inputs[0]
         source.trace_read()

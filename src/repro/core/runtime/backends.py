@@ -128,20 +128,30 @@ class SerialBackend(ExecutionBackend):
         return StreamResult(times, values, durations, stats=stats)
 
 
-def plan_batch_safe(plan: CompiledPlan) -> bool:
-    """True when every operator's output is invariant to window widening.
+def batch_unsafe_node(plan: CompiledPlan) -> OperatorNode | None:
+    """The first operator node whose output is not widening-invariant.
 
-    Checked via :meth:`~repro.core.operators.base.Operator.batch_safe`; the
-    batched backend only widens plans where this holds and silently falls
-    back to serial execution otherwise, so correctness never depends on the
-    backend choice.
+    Returns None when the whole plan is batch-safe.  Used both for the
+    go/no-go decision (:func:`plan_batch_safe`) and to name the blocking
+    node in :attr:`~repro.core.runtime.result.ExecutionStats.fallback_reason`.
     """
     for node in topological_order(plan.sink):
         if isinstance(node, OperatorNode):
             inputs = [inp.descriptor for inp in node.inputs]
             if not node.operator.batch_safe(inputs):
-                return False
-    return True
+                return node
+    return None
+
+
+def plan_batch_safe(plan: CompiledPlan) -> bool:
+    """True when every operator's output is invariant to window widening.
+
+    Checked via :meth:`~repro.core.operators.base.Operator.batch_safe`; the
+    batched backend only widens plans where this holds and falls back to
+    serial execution otherwise (recording why in the run's stats), so
+    correctness never depends on the backend choice.
+    """
+    return batch_unsafe_node(plan) is None
 
 
 class BatchedBackend(ExecutionBackend):
@@ -220,8 +230,15 @@ class BatchedBackend(ExecutionBackend):
         times, values, durations, elapsed, windows_run = run_window_loop(target, starts, collect)
         stats = build_stats(target, windows_run, int(times.size), elapsed, targeted)
         # A non-batch-safe plan (or batch_windows=1) ran the original plan one
-        # window at a time; the stats must say so.
+        # window at a time; the stats must say so — and say why.
         stats.execution_mode = "serial" if twin is None else self.name
+        if twin is None and self.batch_windows > 1:
+            blocker = batch_unsafe_node(plan)
+            if blocker is not None:
+                stats.fallback_reason = (
+                    f"operator {blocker.operator.name} ({blocker.name}) is not "
+                    "batch-safe: widening its windows would change its output"
+                )
         if twin is not None:
             # Report window counts in the *original* plan's geometry so
             # backend sweeps compare like with like: every twin window is a
@@ -364,6 +381,26 @@ class MultiprocessBackend(ExecutionBackend):
         return StreamResult(times, values, durations, stats=stats)
 
 
+def vectorized_fallback_reason(plan: CompiledPlan) -> str:
+    """Why the vectorized backend would run *plan* entirely serially.
+
+    Names the specific blocking property — the cache tracer, the plan-level
+    soundness failure (including which node scales time), or the absence of
+    any lowerable operator — so the fallback is attributable in
+    :attr:`~repro.core.runtime.result.ExecutionStats.fallback_reason` and in
+    ``--backend auto`` pipeline output.
+    """
+    if plan.tracer is not None:
+        return "plan carries a cache tracer, which models per-window buffer touches"
+    info = plan_vector_info(plan)
+    if not info.runnable:
+        return info.reason
+    return (
+        f"none of the plan's {info.operator_nodes} operator node(s) lowers "
+        "to a run kernel"
+    )
+
+
 class VectorizedBackend(ExecutionBackend):
     """Execute maximal runs of consecutive windows as NumPy array programs.
 
@@ -399,7 +436,9 @@ class VectorizedBackend(ExecutionBackend):
         self, plan: CompiledPlan, targeted: bool = True, collect: bool = True
     ) -> StreamResult:
         if not self._active(plan):
-            return SerialBackend().execute(plan, targeted=targeted, collect=collect)
+            result = SerialBackend().execute(plan, targeted=targeted, collect=collect)
+            result.stats.fallback_reason = vectorized_fallback_reason(plan)
+            return result
         starts = _window_starts(plan, targeted)
         runs = runs_for_starts(starts, plan.sink.dimension, self.max_run_windows)
         for node in topological_order(plan.sink):

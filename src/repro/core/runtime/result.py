@@ -46,6 +46,12 @@ class ExecutionStats:
     #: nothing to lower) report the mode that really executed, not the one
     #: that was requested.
     execution_mode: str = "serial"
+    #: Why a backend fell back to a slower execution mode than requested
+    #: (``None`` when it ran as asked): which node or property blocked it,
+    #: e.g. ``"operator Chop is not batch-safe"`` or ``"operator shift_3
+    #: scales time ..."``.  Pairs with ``execution_mode`` so the fallback is
+    #: attributable, not just visible.
+    fallback_reason: str | None = None
     #: Per-node window counts, keyed by node name.
     per_node_windows: dict[str, int] = field(default_factory=dict)
 

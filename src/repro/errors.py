@@ -38,6 +38,19 @@ class LocalityTracingError(CompilationError):
     """Locality tracing failed to converge to a consistent dimension set."""
 
 
+class PlanVerificationError(CompilationError):
+    """Static plan verification refuted a soundness property.
+
+    Raised by ``compile_plan(..., strict=True)`` when the verify pass
+    produces error-level diagnostics.  The findings are available on
+    :attr:`diagnostics` (a list of :class:`repro.analysis.Diagnostic`).
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
 class MemoryPlanError(CompilationError):
     """The static memory planner could not size the FWindow buffers."""
 

@@ -114,9 +114,9 @@ def run_lifestream_e2e(
     if backend_label == "batched":
         from repro.core.runtime.backends import plan_batch_safe
 
-        # The batched backend silently runs window-sensitive plans serially;
-        # label the path that actually executed so backend sweeps report
-        # honest numbers.
+        # The batched backend runs window-sensitive plans serially; label
+        # the path that actually executed so backend sweeps report honest
+        # numbers (the stats carry the blocking node in fallback_reason).
         if not plan_batch_safe(compiled.plan):
             backend_label = "serial (batched fallback)"
     elif backend_label == "vectorized":
@@ -136,6 +136,8 @@ def run_lifestream_e2e(
     }
     if backend_reason is not None:
         extra["backend_reason"] = backend_reason
+    if result.stats.fallback_reason is not None:
+        extra["fallback_reason"] = result.stats.fallback_reason
     return PipelineRun(
         engine="lifestream",
         elapsed_seconds=elapsed,
@@ -298,6 +300,8 @@ def main(argv: list[str] | None = None) -> None:
     )
     if "backend_reason" in run.extra:
         print(f"backend chosen because: {run.extra['backend_reason']}")
+    if "fallback_reason" in run.extra:
+        print(f"fell back because: {run.extra['fallback_reason']}")
 
 
 if __name__ == "__main__":  # pragma: no cover

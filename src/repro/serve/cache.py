@@ -380,6 +380,9 @@ class PlanCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Templates refused by :meth:`PlanCache.store` because their verify
+    #: pass found error-level diagnostics.
+    rejected: int = 0
 
     @property
     def lookups(self) -> int:
@@ -431,7 +434,18 @@ class PlanCache:
             return template
 
     def store(self, key: tuple, template: "CompiledPlan") -> None:
-        """Insert *template*, evicting least-recently-used entries to fit."""
+        """Insert *template*, evicting least-recently-used entries to fit.
+
+        Templates whose verify pass found error-level diagnostics are
+        refused (counted in :attr:`PlanCacheStats.rejected`): a cached plan
+        is served to every later client of the same signature, so a
+        statically-unsound plan must not outlive the one compile that
+        produced it.
+        """
+        if any(d.severity == "error" for d in getattr(template, "diagnostics", ())):
+            with self._lock:
+                self.stats.rejected += 1
+            return
         with self._lock:
             self._entries[key] = template
             self._entries.move_to_end(key)

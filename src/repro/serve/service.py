@@ -217,6 +217,15 @@ class StreamingService:
             )
         hits_before = self.engine.plan_cache.stats.hits
         compiled = self.engine.compile(query, sources)
+        plan_errors = [
+            d for d in compiled.plan.diagnostics if d.severity == "error"
+        ]
+        if plan_errors:
+            raise ExecutionError(
+                f"refusing to serve client {client_id!r}: plan verification "
+                f"found {len(plan_errors)} error(s): "
+                + "; ".join(d.render() for d in plan_errors)
+            )
         session = compiled.open_session(targeted=targeted, checkpoint=checkpoint)
         # The engine already computed the structural signature for its cache
         # lookup; reuse it (recomputing would re-fingerprint every callable

@@ -1,0 +1,159 @@
+"""Async-safety linter: blocking calls, unawaited coroutines, unbounded queues."""
+
+import textwrap
+
+from repro.analysis.async_lint import lint_async_paths, lint_async_source
+from repro.analysis.diagnostics import has_errors
+
+
+def lint(snippet: str):
+    return lint_async_source(textwrap.dedent(snippet), path="snippet.py")
+
+
+def codes(snippet: str) -> list[str]:
+    return [d.code for d in lint(snippet)]
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_async_def_is_ls301(self):
+        findings = lint(
+            """
+            import time
+
+            async def tick():
+                time.sleep(1)
+            """
+        )
+        assert [d.code for d in findings] == ["LS301"]
+        assert findings[0].severity == "error"
+        assert findings[0].anchor == "snippet.py:5"
+
+    def test_open_builtin_in_async_def_is_ls301(self):
+        assert codes(
+            """
+            async def load():
+                with open("data.bin") as f:
+                    return f.read()
+            """
+        ) == ["LS301"]
+
+    def test_sync_pipe_recv_in_async_def_is_ls301(self):
+        assert codes(
+            """
+            async def pull(conn):
+                return conn.recv()
+            """
+        ) == ["LS301"]
+
+    def test_time_sleep_in_sync_def_is_fine(self):
+        assert codes(
+            """
+            import time
+
+            def tick():
+                time.sleep(1)
+            """
+        ) == []
+
+    def test_nested_sync_def_inside_async_def_is_fine(self):
+        # The nested function runs wherever it is called (e.g. an executor);
+        # only the lexically-async body blocks the loop.
+        assert codes(
+            """
+            import time
+
+            async def outer():
+                def worker():
+                    time.sleep(1)
+                return worker
+            """
+        ) == []
+
+
+class TestUnawaitedCoroutines:
+    def test_bare_asyncio_sleep_statement_is_ls302(self):
+        assert codes(
+            """
+            import asyncio
+
+            async def tick():
+                asyncio.sleep(1)
+            """
+        ) == ["LS302"]
+
+    def test_bare_call_to_module_local_async_def_is_ls302(self):
+        assert codes(
+            """
+            async def drain():
+                pass
+
+            async def tick():
+                drain()
+            """
+        ) == ["LS302"]
+
+    def test_bare_self_call_to_async_method_is_ls302(self):
+        assert codes(
+            """
+            class Gateway:
+                async def drain(self):
+                    pass
+
+                async def tick(self):
+                    self.drain()
+            """
+        ) == ["LS302"]
+
+    def test_awaited_coroutine_is_fine(self):
+        assert codes(
+            """
+            import asyncio
+
+            async def tick():
+                await asyncio.sleep(1)
+            """
+        ) == []
+
+    def test_sync_method_sharing_an_async_name_is_fine(self):
+        # source.advance is synchronous even though the module defines an
+        # async def advance elsewhere; only self.advance() may be assumed
+        # to hit the coroutine.
+        assert codes(
+            """
+            async def advance():
+                pass
+
+            async def tick(source):
+                source.advance(10)
+            """
+        ) == []
+
+
+class TestUnboundedQueues:
+    def test_unbounded_asyncio_queue_is_ls303(self):
+        findings = lint(
+            """
+            import asyncio
+
+            queue = asyncio.Queue()
+            """
+        )
+        assert [d.code for d in findings] == ["LS303"]
+        assert findings[0].severity == "warning"
+
+    def test_explicit_zero_maxsize_is_still_unbounded(self):
+        assert codes("import asyncio\nqueue = asyncio.Queue(maxsize=0)\n") == ["LS303"]
+
+    def test_bounded_queue_is_fine(self):
+        assert codes("import asyncio\nqueue = asyncio.Queue(maxsize=64)\n") == []
+
+    def test_unbounded_deque_is_ls303(self):
+        assert codes("from collections import deque\nbuf = deque()\n") == ["LS303"]
+
+    def test_bounded_deque_is_fine(self):
+        assert codes("from collections import deque\nbuf = deque(maxlen=8)\n") == []
+
+
+class TestIngestTier:
+    def test_repo_ingest_tier_has_no_error_findings(self):
+        assert not has_errors(lint_async_paths())

@@ -1,0 +1,64 @@
+"""Unsound plans never reach serving: cache, service, and strict engine."""
+
+import pytest
+
+from repro.core.compiler import compile_plan
+from repro.core.engine import LifeStreamEngine
+from repro.core.query import Query
+from repro.errors import ExecutionError, PlanVerificationError
+from repro.serve import PlanCache, StreamingService
+
+from tests.analysis.conftest import stretch_query_and_sources
+from tests.conftest import make_source
+
+
+class TestPlanCacheRefusal:
+    def test_error_diagnostic_template_is_refused(self):
+        query, sources = stretch_query_and_sources()
+        template = compile_plan(query, sources, window_size=96)
+        assert any(d.severity == "error" for d in template.diagnostics)
+        cache = PlanCache(capacity=4)
+        cache.store(("key",), template)
+        assert len(cache) == 0
+        assert cache.stats.rejected == 1
+        assert cache.lookup(("key",)) is None
+
+    def test_clean_template_is_cached(self):
+        query = Query.source("s", period=2).select(lambda v: v + 1)
+        template = compile_plan(query, {"s": make_source(400, period=2)}, window_size=96)
+        cache = PlanCache(capacity=4)
+        cache.store(("key",), template)
+        assert len(cache) == 1
+        assert cache.stats.rejected == 0
+        assert cache.lookup(("key",)) is template
+
+
+class TestServiceRefusal:
+    def test_open_refuses_plans_with_error_diagnostics(self):
+        service = StreamingService(window_size=96)
+        query, sources = stretch_query_and_sources()
+        with pytest.raises(ExecutionError, match="refusing to serve.*LS102"):
+            service.open("client-1", query, sources)
+        # The refused client holds no session and can retry a fixed query.
+        assert service.client_ids == []
+
+    def test_open_serves_clean_plans(self):
+        service = StreamingService(window_size=96)
+        query = Query.source("s", period=2).select(lambda v: v + 1)
+        session = service.open("client-1", query, {"s": make_source(400, period=2)})
+        assert session is not None
+        service.close("client-1")
+
+
+class TestStrictEngine:
+    def test_strict_engine_raises_at_compile_time(self):
+        engine = LifeStreamEngine(window_size=96, strict=True)
+        query, sources = stretch_query_and_sources()
+        with pytest.raises(PlanVerificationError, match="LS102"):
+            engine.compile(query, sources)
+
+    def test_default_engine_compiles_but_carries_the_findings(self):
+        engine = LifeStreamEngine(window_size=96)
+        query, sources = stretch_query_and_sources()
+        compiled = engine.compile(query, sources)
+        assert any(d.code == "LS102" for d in compiled.plan.diagnostics)

@@ -15,6 +15,7 @@ from repro.core.compiler import (
     NormalizePass,
     PassContext,
     PassManager,
+    VerifyPass,
     build_plan,
     compile_plan,
     fuse_elementwise,
@@ -47,6 +48,7 @@ class TestPassManager:
             "fuse_elementwise",
             "vectorize",
             "memory",
+            "verify",
         ]
 
     def test_every_pass_is_timed(self, ramp_500hz):
@@ -73,6 +75,9 @@ class TestPassManager:
         assert "fused" in ctx.metadata["fusion"]
         MemoryPass().run(ctx)
         assert ctx.memory_plan is not None
+        VerifyPass().run(ctx)
+        assert ctx.metadata["verify"] == "clean"
+        assert ctx.diagnostics == []
 
     def test_pass_requiring_plan_rejects_empty_context(self, ramp_500hz):
         ctx = PassContext(query=chain_query(), sources={"s": ramp_500hz}, window_size=1000)
