@@ -41,7 +41,7 @@ def _record(registry, key, benchmark, fn, events):
     report = get_report(
         registry, "fig10a_targeted", "Figure 10(a) — targeted query processing", HEADERS
     )
-    seconds, _ = timed_benchmark(benchmark, fn)
+    seconds, _ = timed_benchmark(benchmark, fn, rounds=3)
     report.record(key, [key[0], key[1], events, seconds, events / seconds / 1e6])
 
 
@@ -97,10 +97,22 @@ def test_speedup_grows_as_overlap_shrinks(benchmark, report_registry, datasets):
         return speedups
 
     _, speedups = timed_benchmark(benchmark, run)
-    assert speedups[OVERLAPS[-1]] > speedups[OVERLAPS[0]]
     report = get_report(
         report_registry, "fig10a_targeted", "Figure 10(a) — targeted query processing", HEADERS
     )
+    # Quote speedups computed from the table's own recorded rows when they
+    # exist, so the published note always matches the numbers in the same
+    # file; the fresh paired measurement above is the fallback when this
+    # test runs in isolation.
+    recorded = {}
+    for overlap in (OVERLAPS[0], OVERLAPS[-1]):
+        targeted_key = (overlap, "lifestream-targeted")
+        trill_key = (overlap, "trill")
+        if targeted_key in report.rows and trill_key in report.rows:
+            recorded[overlap] = report.rows[trill_key][3] / report.rows[targeted_key][3]
+    if len(recorded) == 2:
+        speedups = recorded
+    assert speedups[OVERLAPS[-1]] > speedups[OVERLAPS[0]]
     report.note(
         f"speedup over the Trill baseline grows from {speedups[OVERLAPS[0]]:.1f}x at "
         f"{OVERLAPS[0]:.0%} overlap to {speedups[OVERLAPS[-1]]:.1f}x at {OVERLAPS[-1]:.0%} overlap"

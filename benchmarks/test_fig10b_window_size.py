@@ -32,7 +32,7 @@ def _record(registry, key, benchmark, fn, events):
     report = get_report(
         registry, "fig10b_window_size", "Figure 10(b) — window-size sensitivity", HEADERS
     )
-    seconds, _ = timed_benchmark(benchmark, fn)
+    seconds, _ = timed_benchmark(benchmark, fn, rounds=3)
     report.record(key, [key[0], key[1], events, seconds, events / seconds / 1e6])
 
 
@@ -74,9 +74,21 @@ def test_performance_stable_across_window_sizes(benchmark, report_registry, data
         return timings
 
     _, timings = timed_benchmark(benchmark, run)
-    ratio = max(timings.values()) / min(timings.values())
-    assert ratio < 3.0
     report = get_report(
         report_registry, "fig10b_window_size", "Figure 10(b) — window-size sensitivity", HEADERS
     )
+    # Assert (and publish) the ratio over the table's own recorded endpoint
+    # timings when they exist, so the invariant provably holds for the rows a
+    # reader of the JSON can recompute — a paired re-measurement can otherwise
+    # pass while the published rows violate it.  The fresh paired run above is
+    # the fallback when this test runs in isolation.
+    recorded = {
+        minutes: report.rows[(minutes, "lifestream")][3]
+        for minutes in (WINDOW_MINUTES[0], WINDOW_MINUTES[-1])
+        if (minutes, "lifestream") in report.rows
+    }
+    if len(recorded) == 2:
+        timings = recorded
+    ratio = max(timings.values()) / min(timings.values())
+    assert ratio < 3.0
     report.note(f"largest/smallest-window runtime ratio: {ratio:.2f}x")
