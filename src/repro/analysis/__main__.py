@@ -6,6 +6,7 @@
     python -m repro.analysis --contracts           # operator contracts only
     python -m repro.analysis --lint-async          # ingest async lint only
     python -m repro.analysis --plan e2e            # verify a named pipeline
+    python -m repro.analysis --plan query.lsq      # verify an LSQL query file
     python -m repro.analysis --format json         # machine-readable report
 
 Exits 1 when any error-level diagnostic is found (warnings and info do not
@@ -65,6 +66,27 @@ PLAN_BUILDERS = {
 }
 
 
+def _analyze_query_file(path: str) -> tuple[list[Diagnostic], object | None]:
+    """Parse, resolve and compile the LSQL file at *path*.
+
+    Returns the front-end diagnostics (already LS4xx
+    :class:`~repro.analysis.diagnostics.Diagnostic`s with file:line:col
+    anchors) plus the compiled plan, or ``None`` when resolution failed and
+    there is nothing to verify.
+    """
+    from pathlib import Path
+
+    from repro.core.compiler import compile_plan
+    from repro.lang.resolver import compile_text
+    from repro.lang.runner import synthesize_sources
+
+    resolved = compile_text(Path(path).read_text(), filename=Path(path).name)
+    if resolved.query is None:
+        return list(resolved.diagnostics), None
+    sources = synthesize_sources(resolved.descriptors, duration_seconds=5.0, seed=0)
+    return list(resolved.diagnostics), compile_plan(resolved.query, sources)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -74,10 +96,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--plan",
         action="append",
-        choices=sorted(PLAN_BUILDERS),
-        metavar="NAME",
-        help="verify a named example pipeline's compiled plan (repeatable; "
-        f"choices: {', '.join(sorted(PLAN_BUILDERS))})",
+        metavar="NAME|FILE",
+        help="verify a named example pipeline's compiled plan, or an LSQL "
+        "query file's (repeatable; names: "
+        f"{', '.join(sorted(PLAN_BUILDERS))}; files end in .lsq)",
     )
     parser.add_argument(
         "--contracts",
@@ -104,7 +126,22 @@ def main(argv: list[str] | None = None) -> int:
 
     plans = args.plan if args.plan else (sorted(PLAN_BUILDERS) if run_all else [])
     for name in plans:
-        plan = PLAN_BUILDERS[name]()
+        if name in PLAN_BUILDERS:
+            plan = PLAN_BUILDERS[name]()
+        else:
+            from pathlib import Path
+
+            if not Path(name).is_file():
+                parser.error(
+                    f"--plan {name!r} is neither a known pipeline name "
+                    f"({', '.join(sorted(PLAN_BUILDERS))}) nor an existing "
+                    f"query file"
+                )
+            front_end, plan = _analyze_query_file(name)
+            diagnostics.extend(front_end)
+            if plan is None:
+                checks_run.append(f"plan:{name}")
+                continue
         found = verify_compiled_plan(plan)
         diagnostics.extend(
             Diagnostic(d.code, d.severity, d.message, anchor=f"{name}:{d.anchor}" if d.anchor else name, check=d.check)

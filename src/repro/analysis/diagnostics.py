@@ -1,9 +1,9 @@
 """The diagnostic vocabulary shared by every analyzer.
 
 A :class:`Diagnostic` is one finding: a stable code (``LS1xx`` plan /
-``LS2xx`` operator contract / ``LS3xx`` async safety), a severity, a
-human-readable message, and an anchor naming the plan node, operator class
-or source location the finding is about.  Codes are part of the public
+``LS2xx`` operator contract / ``LS3xx`` async safety / ``LS4xx`` LSQL
+front-end), a severity, a human-readable message, and an anchor naming the
+plan node, operator class or source location the finding is about.  Codes are part of the public
 surface — tests snapshot :data:`CODES`, CI greps reports for them, and docs
 reference them — so a code is never renumbered or reused once released.
 """
@@ -22,7 +22,7 @@ SEVERITIES = ("error", "warning", "info")
 
 #: Every stable diagnostic code, with its one-line meaning.  LS1xx are plan
 #: verifier findings, LS2xx operator-contract findings, LS3xx async-safety
-#: findings.
+#: findings, LS4xx LSQL parse/resolve findings (anchored ``file:line:col``).
 CODES: dict[str, str] = {
     # -- plan verifier (LS1xx) --------------------------------------------
     "LS101": "dimension algebra violation: a node's traced FWindow dimension "
@@ -66,6 +66,20 @@ CODES: dict[str, str] = {
     "its body never runs",
     "LS303": "unbounded queue: a queue/deque constructed without a bound "
     "can grow without backpressure",
+    # -- LSQL front-end (LS4xx) --------------------------------------------
+    "LS401": "lexical error: the query text contains a character or literal "
+    "the LSQL tokenizer cannot form a token from",
+    "LS402": "syntax error: the token stream does not match the LSQL "
+    "grammar at this position",
+    "LS403": "unknown name: the query references a source, binding, "
+    "operator, kernel, shape or combiner that is not defined",
+    "LS404": "bad argument: an operator or factory call has missing, "
+    "duplicate, excess or ill-typed arguments (or values that fail "
+    "construction-time validation)",
+    "LS405": "structure error: the program's statements do not form a "
+    "valid query (duplicate declarations, no sink, multiple sinks)",
+    "LS406": "unused declaration: a declared source or let binding is "
+    "never referenced by the sink",
 }
 
 

@@ -235,6 +235,29 @@ class StreamingSession:
         """Start time of the last executed output window (None before any)."""
         return self._last_start
 
+    @property
+    def output_complete_through(self) -> int | None:
+        """Stream time through which the emitted output is *final*.
+
+        Output windows execute strictly in order along the sink's dimension
+        grid, so every window a future tick could still run starts at or
+        after ``frontier + dimension`` — nothing already emitted below that
+        time can change or gain new neighbours.  (A merely covered-but-
+        unexecuted trailing window is *not* final: coverage can extend a
+        partial window until it fills and executes, emitting events below
+        the coverage end.  The frontier bound has no such hazard.)
+        ``None`` before the first window has executed.
+
+        This is exactly the watermark a downstream consumer of the output
+        stream may advance to — the contract the sub-plan sharing layer
+        (:mod:`repro.serve.subplan`) relies on to feed one prefix session's
+        output into many tail sessions without ever exposing a non-final
+        event.
+        """
+        if self._last_start is None:
+            return None
+        return self._last_start + self._plan.sink.dimension
+
     # -- the tick loop -----------------------------------------------------
 
     def advance(self, watermark: int) -> TickStats:

@@ -1,0 +1,121 @@
+"""The LSQL abstract syntax tree.
+
+Every node carries its 1-based source position, excluded from structural
+equality (``compare=False``) so the fuzz suite's round-trip property —
+``parse(format(ast)) == ast`` — holds even though formatting moves nodes to
+canonical positions.
+
+The tree mirrors the grammar (see ``DESIGN.md``):
+
+* a :class:`Program` is a list of statements;
+* statements are :class:`SourceDecl` (``source NAME rate 500hz;``),
+  :class:`LetDecl` (``let NAME = pipeline;``) and :class:`SinkDecl`
+  (``sink NAME = pipeline;``);
+* a pipeline is a :class:`Chain`: a head (a :class:`Ref` to a source/let,
+  or a :class:`Call` such as ``join(a, b)``) followed by ``|>``-applied
+  operator :class:`Call`\\ s;
+* call arguments are positional or ``name=value``; values are
+  :class:`NumberLit` (with an optional unit), :class:`StringLit`, or a
+  nested :class:`Chain` (how join operands embed whole pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    """A numeric literal, e.g. ``32``, ``0.08``, ``500hz``, ``1s``."""
+
+    value: float
+    unit: str | None = None
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class StringLit:
+    """A double-quoted string literal."""
+
+    value: str
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A bare identifier referencing a declared source or let binding."""
+
+    name: str
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Arg:
+    """One call argument: positional (``name`` is None) or named."""
+
+    value: object
+    name: str | None = None
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Call:
+    """A named call with arguments: an operator, kernel factory or head op."""
+
+    name: str
+    args: tuple[Arg, ...] = ()
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A pipeline: ``head |> op(...) |> op(...)``."""
+
+    head: object  # Ref | Call
+    ops: tuple[Call, ...] = ()
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class SourceDecl:
+    """``source NAME [rate N[hz]] [period N] [offset N];``"""
+
+    name: str
+    rate: NumberLit | None = None
+    period: NumberLit | None = None
+    offset: NumberLit | None = None
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class LetDecl:
+    """``let NAME = pipeline;``"""
+
+    name: str
+    chain: Chain = None
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class SinkDecl:
+    """``sink NAME = pipeline;`` — the query root (exactly one per program)."""
+
+    name: str
+    chain: Chain = None
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole LSQL file: the statement list, in source order."""
+
+    statements: tuple = ()

@@ -1,0 +1,102 @@
+"""Canonical LSQL formatting.
+
+:func:`format_program` renders an AST back to source text such that
+``parse(format_program(ast)).program == ast`` — the grammar fuzz suite's
+round-trip property.  Formatting is canonical (one statement per line,
+single spaces), so it also doubles as a pretty-printer for ``parse``
+output.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    Call,
+    Chain,
+    LetDecl,
+    NumberLit,
+    Program,
+    Ref,
+    SinkDecl,
+    SourceDecl,
+    StringLit,
+)
+
+_STRING_ESCAPES = {'"': '\\"', "\\": "\\\\", "\n": "\\n", "\t": "\\t"}
+
+
+def format_number(number: NumberLit) -> str:
+    """Render a numeric literal with its unit suffix."""
+    value = number.value
+    if isinstance(value, float):
+        text = repr(value)
+    else:
+        text = str(value)
+    return f"{text}{number.unit}" if number.unit else text
+
+
+def format_string(literal: StringLit) -> str:
+    """Render a string literal with escapes."""
+    body = "".join(_STRING_ESCAPES.get(ch, ch) for ch in literal.value)
+    return f'"{body}"'
+
+
+def format_value(value) -> str:
+    """Render any argument value."""
+    if isinstance(value, NumberLit):
+        return format_number(value)
+    if isinstance(value, StringLit):
+        return format_string(value)
+    if isinstance(value, Chain):
+        return format_chain(value)
+    if isinstance(value, (Ref, Call)):
+        # Bare heads formatted as single-node chains.
+        return format_chain(Chain(head=value))
+    raise TypeError(f"cannot format value of type {type(value).__name__}")
+
+
+def format_call(call: Call) -> str:
+    """Render a call with its argument list."""
+    rendered = []
+    for arg in call.args:
+        prefix = f"{arg.name}=" if arg.name is not None else ""
+        rendered.append(prefix + format_value(arg.value))
+    return f"{call.name}({', '.join(rendered)})"
+
+
+def format_chain(chain: Chain) -> str:
+    """Render a pipeline: ``head |> op(...) |> op(...)``."""
+    head = chain.head
+    if isinstance(head, Ref):
+        parts = [head.name]
+    elif isinstance(head, Call):
+        parts = [format_call(head)]
+    else:
+        raise TypeError(f"cannot format chain head of type {type(head).__name__}")
+    parts.extend(format_call(op) for op in chain.ops)
+    return " |> ".join(parts)
+
+
+def format_statement(statement) -> str:
+    """Render one statement, ``;``-terminated."""
+    if isinstance(statement, SourceDecl):
+        parts = [f"source {statement.name}"]
+        for clause, literal in (
+            ("rate", statement.rate),
+            ("period", statement.period),
+            ("offset", statement.offset),
+        ):
+            if literal is not None:
+                parts.append(f"{clause} {format_number(literal)}")
+        return " ".join(parts) + ";"
+    if isinstance(statement, LetDecl):
+        return f"let {statement.name} = {format_chain(statement.chain)};"
+    if isinstance(statement, SinkDecl):
+        return f"sink {statement.name} = {format_chain(statement.chain)};"
+    raise TypeError(f"cannot format statement of type {type(statement).__name__}")
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program, one statement per line."""
+    return "\n".join(format_statement(s) for s in program.statements) + (
+        "\n" if program.statements else ""
+    )

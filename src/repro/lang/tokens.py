@@ -1,0 +1,238 @@
+"""The LSQL tokenizer.
+
+Turns query text into a flat token stream with 1-based line/column
+positions.  The tokenizer is *total*: it never raises on bad input —
+characters it cannot form a token from become ``LS401`` diagnostics (one
+per offending run, so byte soup produces a bounded report, not one finding
+per byte) and scanning continues, which is what lets the parser recover and
+report several errors per file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Unit suffixes a number literal may carry.  ``hz`` marks a rate; the
+#: others are durations the resolver converts to ticks (1 tick = 1 ms).
+UNITS = ("hz", "ms", "s", "min")
+
+#: Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+PIPE = "pipe"  # |>
+LPAREN = "lparen"
+RPAREN = "rparen"
+COMMA = "comma"
+SEMI = "semi"
+EQUALS = "equals"
+MINUS = "minus"
+EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line and column)."""
+
+    kind: str
+    text: str
+    line: int
+    col: int
+    #: Decoded payload: int/float for numbers, unescaped str for strings.
+    value: object = None
+    #: Unit suffix of a number token (``"hz"``, ``"s"``, ``"ms"``, ``"min"``).
+    unit: str | None = None
+
+
+@dataclass
+class TokenStream:
+    """The tokenizer's output: tokens plus any lexical diagnostics."""
+
+    tokens: list[Token]
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+def _is_digit(ch: str) -> bool:
+    # Not str.isdigit(): that accepts characters like '²' which int()/float()
+    # reject, and the number grammar is ASCII-only anyway.
+    return "0" <= ch <= "9"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+_ESCAPES = {'"': '"', "\\": "\\", "n": "\n", "t": "\t"}
+
+
+def tokenize(text: str, filename: str = "<query>") -> TokenStream:
+    """Tokenize *text*; lexical errors become LS401 diagnostics, never raises."""
+    tokens: list[Token] = []
+    diagnostics: list[Diagnostic] = []
+    line = 1
+    col = 1
+    index = 0
+    length = len(text)
+
+    def error(message: str, at_line: int, at_col: int) -> None:
+        diagnostics.append(
+            Diagnostic(
+                "LS401",
+                "error",
+                message,
+                anchor=f"{filename}:{at_line}:{at_col}",
+                check="lang",
+            )
+        )
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, col
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            index += 1
+
+    while index < length:
+        ch = text[index]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == "#":
+            while index < length and text[index] != "\n":
+                advance()
+            continue
+        start_line, start_col = line, col
+        if ch == "|":
+            if index + 1 < length and text[index + 1] == ">":
+                tokens.append(Token(PIPE, "|>", start_line, start_col))
+                advance(2)
+            else:
+                error("stray '|' (the pipeline operator is '|>')", start_line, start_col)
+                advance()
+            continue
+        if ch in "(),;=-":
+            kind = {
+                "(": LPAREN,
+                ")": RPAREN,
+                ",": COMMA,
+                ";": SEMI,
+                "=": EQUALS,
+                "-": MINUS,
+            }[ch]
+            tokens.append(Token(kind, ch, start_line, start_col))
+            advance()
+            continue
+        if ch == '"':
+            raw_begin = index
+            advance()
+            chars: list[str] = []
+            closed = False
+            while index < length:
+                current = text[index]
+                if current == '"':
+                    advance()
+                    closed = True
+                    break
+                if current == "\n":
+                    break
+                if current == "\\":
+                    if index + 1 < length and text[index + 1] in _ESCAPES:
+                        chars.append(_ESCAPES[text[index + 1]])
+                        advance(2)
+                        continue
+                    error(
+                        "unknown string escape (supported: \\\" \\\\ \\n \\t)",
+                        line,
+                        col,
+                    )
+                    advance()
+                    continue
+                chars.append(current)
+                advance()
+            if not closed:
+                error("unterminated string literal", start_line, start_col)
+                continue
+            tokens.append(
+                Token(
+                    STRING,
+                    text[raw_begin:index],
+                    start_line,
+                    start_col,
+                    value="".join(chars),
+                )
+            )
+            continue
+        if _is_digit(ch):
+            begin = index
+            while index < length and _is_digit(text[index]):
+                advance()
+            is_float = False
+            if (
+                index < length
+                and text[index] == "."
+                and index + 1 < length
+                and _is_digit(text[index + 1])
+            ):
+                is_float = True
+                advance()
+                while index < length and _is_digit(text[index]):
+                    advance()
+            if index < length and text[index] in "eE":
+                peek = index + 1
+                if peek < length and text[peek] in "+-":
+                    peek += 1
+                if peek < length and _is_digit(text[peek]):
+                    is_float = True
+                    advance(peek - index)
+                    while index < length and _is_digit(text[index]):
+                        advance()
+            digits = text[begin:index]
+            unit = None
+            if index < length and _is_ident_start(text[index]):
+                unit_begin = index
+                while index < length and _is_ident_part(text[index]):
+                    advance()
+                unit = text[unit_begin:index]
+                if unit not in UNITS:
+                    error(
+                        f"unknown unit suffix {unit!r} on number {digits!r} "
+                        f"(supported: {', '.join(UNITS)})",
+                        start_line,
+                        start_col,
+                    )
+                    continue
+            value = float(digits) if is_float else int(digits)
+            tokens.append(
+                Token(NUMBER, digits + (unit or ""), start_line, start_col, value=value, unit=unit)
+            )
+            continue
+        if _is_ident_start(ch):
+            begin = index
+            while index < length and _is_ident_part(text[index]):
+                advance()
+            word = text[begin:index]
+            tokens.append(Token(IDENT, word, start_line, start_col, value=word))
+            continue
+        # A run of unrecognisable characters is reported once, not per byte.
+        begin = index
+        while (
+            index < length
+            and text[index] not in " \t\r\n#|(),;=-\""
+            and not _is_digit(text[index])
+            and not _is_ident_start(text[index])
+        ):
+            advance()
+        run = text[begin:index]
+        error(f"unexpected character(s) {run!r}", start_line, start_col)
+
+    tokens.append(Token(EOF, "", line, col))
+    return TokenStream(tokens=tokens, diagnostics=diagnostics)

@@ -20,7 +20,7 @@ from repro.baselines.trill.operators import TrillJoin, TrillResample, TrillWindo
 from repro.core.engine import LifeStreamEngine
 from repro.core.query import Query
 from repro.core.timeutil import TICKS_PER_MINUTE, TICKS_PER_SECOND, period_from_hz
-from repro.ops import kernels
+from repro.ops import combine, kernels
 from repro.ops.operations import _wrap_window_kernel
 from repro.pipelines.common import PipelineRun
 
@@ -59,7 +59,10 @@ def lifestream_e2e_query(
         .resample(frequency_hz=ECG_HZ, mode=resample_mode)
         .transform(normalize_window, kernels.zscore_kernel())
     )
-    return ecg.join(abp, lambda left, right: left - right)
+    # combine.sub (not an inline lambda) so the LSQL front-end's `combine=sub`
+    # resolves to the identical function object and both authoring paths get
+    # one plan_signature — the PlanCache then shares the compiled template.
+    return ecg.join(abp, combine.sub)
 
 
 def run_lifestream_e2e(
@@ -281,7 +284,38 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--eager", action="store_true", help="run eagerly instead of targeted"
     )
+    parser.add_argument(
+        "--query",
+        metavar="FILE",
+        help="run an LSQL query file over the synthesized dataset instead of "
+        "the built-in pipeline (lifestream engine only; see repro.lang)",
+    )
     args = parser.parse_args(argv)
+
+    if args.query is not None:
+        from repro.analysis.diagnostics import has_errors, render_text
+        from repro.lang.__main__ import load_query_file
+        from repro.lang.runner import run_resolved
+
+        resolved = load_query_file(args.query)
+        if resolved.diagnostics:
+            print(render_text(resolved.diagnostics))
+        if resolved.query is None or has_errors(resolved.diagnostics):
+            raise SystemExit(1)
+        result = run_resolved(
+            resolved,
+            duration_seconds=args.duration,
+            seed=args.seed,
+            window_size=args.window_size,
+            targeted=not args.eager,
+        )
+        print(
+            f"engine=lifestream  query={args.query}  sink={resolved.sink_name}  "
+            f"elapsed={result.stats.elapsed_seconds * 1e3:.1f} ms  "
+            f"ingested={result.stats.events_ingested}  "
+            f"emitted={result.stats.events_emitted}"
+        )
+        return
 
     ecg, abp = e2e_dataset(duration_seconds=args.duration, seed=args.seed)
     kwargs = {}

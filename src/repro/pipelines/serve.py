@@ -82,6 +82,8 @@ def serve_cohort(
     window_size: int = TICKS_PER_SECOND,
     n_workers: int = 1,
     backend=None,
+    query: Query | None = None,
+    descriptors=None,
 ) -> CohortServeReport:
     """Serve *n_patients* synthetic patients through one service.
 
@@ -90,6 +92,11 @@ def serve_cohort(
     ``n_workers > 1`` the cohort is sharded across forked processes.
     ``backend`` (an instance or a CLI name) selects the execution backend
     every session in the cohort runs on.
+
+    Pass *query* (with its declared *descriptors*, e.g. from a resolved
+    LSQL file) to serve that pipeline instead of the built-in
+    :func:`cohort_query`; each patient then streams its own synthesized
+    data on the declared grids (seeded per patient).
     """
     if isinstance(backend, str):
         from repro.pipelines.common import backend_from_name
@@ -100,6 +107,15 @@ def serve_cohort(
     report = CohortServeReport(n_patients=n_patients, n_pumps=len(watermarks))
 
     def patient_sources(seed):
+        if query is not None:
+            from repro.lang.runner import synthesize_sources
+
+            return {
+                name: ReplaySource(source)
+                for name, source in synthesize_sources(
+                    descriptors or {}, duration_seconds=duration_seconds, seed=seed
+                ).items()
+            }
         return {"ecg": ReplaySource(synthetic_patient(seed, duration_seconds))}
 
     def drive(service) -> None:
@@ -117,12 +133,15 @@ def serve_cohort(
         report.events_emitted += drained.events_emitted
         report.session_seconds += drained.elapsed_seconds
 
+    def patient_query() -> Query:
+        return query if query is not None else cohort_query()
+
     if n_workers > 1:
         service = ShardedStreamingService(
             n_workers=n_workers, window_size=window_size, backend=backend
         )
         for seed in range(n_patients):
-            service.register(f"patient-{seed:03d}", cohort_query(), patient_sources(seed))
+            service.register(f"patient-{seed:03d}", patient_query(), patient_sources(seed))
         service.start()
         report.execution_mode = service.execution_mode
         drive(service)
@@ -139,7 +158,7 @@ def serve_cohort(
 
     with StreamingService(window_size=window_size, backend=backend) as service:
         for seed in range(n_patients):
-            service.open(f"patient-{seed:03d}", cohort_query(), patient_sources(seed))
+            service.open(f"patient-{seed:03d}", patient_query(), patient_sources(seed))
         drive(service)
         report.compiles = service.cache_stats.misses
         report.cache_hits = service.cache_stats.hits
@@ -162,11 +181,33 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - demo scri
         help="execution backend every cohort session runs on",
     )
     parser.add_argument("--patients", type=int, default=12)
+    parser.add_argument(
+        "--query",
+        metavar="FILE",
+        help="serve an LSQL query file for every patient instead of the "
+        "built-in cohort pipeline (see repro.lang)",
+    )
     args = parser.parse_args(argv)
+
+    query = descriptors = None
+    if args.query is not None:
+        from repro.analysis.diagnostics import has_errors, render_text
+        from repro.lang.__main__ import load_query_file
+
+        resolved = load_query_file(args.query)
+        if resolved.diagnostics:
+            print(render_text(resolved.diagnostics))
+        if resolved.query is None or has_errors(resolved.diagnostics):
+            raise SystemExit(1)
+        query, descriptors = resolved.query, resolved.descriptors
 
     for n_workers in (1, 2):
         report = serve_cohort(
-            n_patients=args.patients, n_workers=n_workers, backend=args.backend
+            n_patients=args.patients,
+            n_workers=n_workers,
+            backend=args.backend,
+            query=query,
+            descriptors=descriptors,
         )
         print(
             f"\nmode={report.execution_mode}  patients={report.n_patients}  "

@@ -9,7 +9,10 @@ paper's patient-level-scale story:
   many :class:`~repro.core.runtime.session.StreamingSession`s and batches
   their ticks profile-guided (ready-first, cheapest-first);
 * :mod:`repro.serve.sharded` — :class:`ShardedStreamingService`, which
-  shards *whole sessions* across forked worker processes.
+  shards *whole sessions* across forked worker processes;
+* :mod:`repro.serve.subplan` — cross-tenant sub-plan sharing: tenants whose
+  queries share a prefix sub-DAG over the same source objects execute that
+  prefix once per tick (``StreamingService(subplan_sharing=True)``).
 """
 
 from repro.serve.cache import (
@@ -24,6 +27,14 @@ from repro.serve.cache import (
 )
 from repro.serve.service import ClientRecord, ServicePumpReport, StreamingService
 from repro.serve.sharded import ShardedStreamingService
+from repro.serve.subplan import (
+    SharedFeedSource,
+    SharedPrefixGroup,
+    SharedPrefixPlan,
+    plan_sharing,
+    prefix_fingerprints,
+    rewrite_tail,
+)
 
 __all__ = [
     "PlanCache",
@@ -38,4 +49,10 @@ __all__ = [
     "ServicePumpReport",
     "ClientRecord",
     "ShardedStreamingService",
+    "SharedFeedSource",
+    "SharedPrefixGroup",
+    "SharedPrefixPlan",
+    "plan_sharing",
+    "prefix_fingerprints",
+    "rewrite_tail",
 ]

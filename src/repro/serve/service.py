@@ -38,12 +38,23 @@ import numpy as np
 
 from repro.core.compiler import compile_plan
 from repro.core.engine import CompiledQuery, LifeStreamEngine
+from repro.core.query import Query
 from repro.core.runtime.backends import recommend_backend
 from repro.core.runtime.result import StreamResult
 from repro.core.runtime.session import StreamingSession, TickStats
+from repro.core.sources import ReplaySource
 from repro.core.timeutil import TICKS_PER_MINUTE
 from repro.errors import ExecutionError
 from repro.serve.cache import PlanCache, PlanCacheStats, signature_digest
+from repro.serve.subplan import (
+    MIN_GROUP_SIZE,
+    SharedFeedSource,
+    SharedPrefixGroup,
+    SharedPrefixPlan,
+    plan_sharing,
+    prefix_fingerprints,
+    rewrite_tail,
+)
 
 #: How many recent ticks inform a session's expected-cost estimate.
 PROFILE_WINDOW = 8
@@ -110,6 +121,11 @@ class ServicePumpReport:
     ticks: dict[str, TickStats] = field(default_factory=dict)
     #: Clients whose plan was hot-swapped at this pump's tick boundary.
     swapped: list[str] = field(default_factory=list)
+    #: Per-group prefix tick instrumentation (``subplan_sharing`` only) —
+    #: exactly one entry per sharing group whose members were in the batch,
+    #: proving the shared prefix executed once, not once per member.  Not
+    #: folded into the client-level aggregate properties below.
+    prefix_ticks: dict[str, TickStats] = field(default_factory=dict)
 
     @property
     def windows_run(self) -> int:
@@ -141,6 +157,7 @@ class ServicePumpReport:
         self.order.extend(other.order)
         self.ticks.update(other.ticks)
         self.swapped.extend(other.swapped)
+        self.prefix_ticks.update(other.prefix_ticks)
 
 
 class StreamingService:
@@ -164,6 +181,7 @@ class StreamingService:
         adaptive: bool = False,
         adapt_after_ticks: int = ADAPT_MIN_TICKS,
         profile_path=None,
+        subplan_sharing: bool = False,
     ) -> None:
         if adapt_after_ticks < 1:
             raise ExecutionError(
@@ -189,7 +207,16 @@ class StreamingService:
         self.engine = engine
         self.adaptive = adaptive
         self.adapt_after_ticks = int(adapt_after_ticks)
+        #: Detect tenants whose queries share a structurally identical
+        #: prefix sub-DAG over the *same source objects* and execute that
+        #: prefix once per batch instead of once per tenant (see
+        #: :mod:`repro.serve.subplan`).  Groups form lazily at the first
+        #: pump/poll/finish after the candidate sessions open and before
+        #: they tick; output stays bit-identical to unshared serving.
+        self.subplan_sharing = subplan_sharing
         self._clients: dict[str, ClientRecord] = {}
+        self._groups: list[SharedPrefixGroup] = []
+        self._grouped: dict[str, SharedPrefixGroup] = {}
         self._pumps = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -263,6 +290,12 @@ class StreamingService:
         record = self._clients.pop(client_id, None)
         if record is not None:
             record.session.close()
+            group = self._grouped.pop(client_id, None)
+            if group is not None:
+                group.forget(client_id)
+                if not group.feeds:
+                    group.close()
+                    self._groups.remove(group)
 
     def close_all(self) -> None:
         """Close every client session."""
@@ -292,6 +325,20 @@ class StreamingService:
     def pumps(self) -> int:
         """Number of :meth:`pump` batches served so far."""
         return self._pumps
+
+    @property
+    def sharing_groups(self) -> list[dict]:
+        """One summary dict per active sub-plan sharing group."""
+        return [
+            {
+                "group_id": group.group_id,
+                "feed": group.feed_name,
+                "members": group.member_ids,
+                "prefix_ticks": len(group.prefix_session.ticks),
+                "operator_count": group.operator_count,
+            }
+            for group in self._groups
+        ]
 
     # -- the batch tick loop -----------------------------------------------
 
@@ -330,8 +377,14 @@ class StreamingService:
                 if not record.session.finished
             }
         report = ServicePumpReport()
+        self._maybe_form_groups()
+        grouped = self._tick_groups(batch, report)
         for client_id in self._schedule(batch):
-            self._tick_client(client_id, report, watermark=batch[client_id])
+            # A grouped member's origin sources were already advanced by its
+            # group (shared objects, forward-only), so its tail ticks by
+            # poll; advancing would trip the feed's finality watermark.
+            watermark = None if client_id in grouped else batch[client_id]
+            self._tick_client(client_id, report, watermark=watermark)
         self._pumps += 1
         return report
 
@@ -368,6 +421,8 @@ class StreamingService:
                     f"open sessions: {sorted(self._clients)}"
                 )
         report = ServicePumpReport()
+        self._maybe_form_groups()
+        self._tick_groups({client_id: None for client_id in batch}, report)
         for client_id in sorted(batch, key=self._expected_cost):
             self._tick_client(client_id, report, watermark=None)
         self._pumps += 1
@@ -420,6 +475,11 @@ class StreamingService:
     def finish(self) -> ServicePumpReport:
         """Drain every open session's deferred tail (see ``Session.finish``)."""
         report = ServicePumpReport()
+        self._maybe_form_groups()
+        for group in self._groups:
+            # Prefixes drain before their members: the members' finish must
+            # see the feeds' full final coverage.
+            report.prefix_ticks[group.group_id] = group.finish_prefix()
         for client_id in sorted(self._clients, key=self._expected_cost):
             record = self._clients[client_id]
             stats = record.session.finish()
@@ -428,6 +488,143 @@ class StreamingService:
             self._observe(record, stats)
         self._pumps += 1
         return report
+
+    # -- cross-tenant sub-plan sharing ---------------------------------------
+
+    def _tick_groups(self, batch: dict, report: ServicePumpReport) -> set[str]:
+        """Advance and tick the shared prefixes whose members are in *batch*.
+
+        For each group with at least one batch member: the batch members'
+        origin replay sources advance to their watermarks (forward-only —
+        the sources are shared objects, so the max wins, exactly as when
+        tenants hand-share sources in unshared serving), the prefix session
+        ticks exactly once, and the emitted delta plus the finality
+        watermark fan out to every member feed.  Returns the batch members
+        that belong to a group (their sessions then tick by ``poll``).
+        """
+        grouped: set[str] = set()
+        for group in self._groups:
+            members = [cid for cid in group.member_ids if cid in batch]
+            if not members:
+                continue
+            grouped.update(members)
+            if group.prefix_session.finished:
+                continue
+            for client_id in members:
+                watermark = batch[client_id]
+                if watermark is not None:
+                    group.advance_member_sources(client_id, watermark)
+            report.prefix_ticks[group.group_id] = group.tick_prefix()
+        return grouped
+
+    def _maybe_form_groups(self) -> None:
+        """Group fresh clients that share a prefix sub-DAG (lazy, idempotent).
+
+        Only clients whose sessions have not ticked yet are candidates: a
+        mid-stream rewrite would have to replay the prefix up to the
+        member's frontier.  Clients that stay ungrouped (or open later) are
+        reconsidered on every subsequent batch until they first tick.
+        """
+        if not self.subplan_sharing:
+            return
+        candidates = []
+        for client_id, record in self._clients.items():
+            session = record.session
+            if (
+                client_id in self._grouped
+                or session.finished
+                or session.frontier is not None
+                or session.ticks
+                or record.query is None
+            ):
+                continue
+            candidates.append((client_id, record.query, record.sources))
+        if len(candidates) < MIN_GROUP_SIZE:
+            return
+        for plan in plan_sharing(candidates):
+            group = self._build_group(plan)
+            if group is not None:
+                self._groups.append(group)
+                for client_id in group.member_ids:
+                    self._grouped[client_id] = group
+
+    def _build_group(self, plan: SharedPrefixPlan) -> SharedPrefixGroup | None:
+        """Compile one sharing group and switch its members onto tails.
+
+        Everything fallible (prefix compile, per-member rewrite + tail
+        compile) runs before any member session is touched, so a failure
+        leaves every client serving unshared exactly as before — sharing is
+        an optimisation and must never take a tenant down.
+        """
+        engine = self.engine
+        first = self._clients[plan.members[0]]
+        staged = []
+        try:
+            prefix_compiled = engine.compile(Query(plan.prefix_spec), first.sources)
+            if any(
+                d.severity == "error" for d in prefix_compiled.plan.diagnostics
+            ):
+                return None
+            descriptor = prefix_compiled.plan.sink.descriptor
+            feed_spec = Query.source(
+                plan.feed_name, period=descriptor.period, offset=descriptor.offset
+            ).spec
+            for client_id in plan.members:
+                record = self._clients[client_id]
+                fingerprints, _, _ = prefix_fingerprints(record.query, record.sources)
+                tail_query = rewrite_tail(
+                    record.query, fingerprints, plan.fingerprint, feed_spec
+                )
+                feed = SharedFeedSource(descriptor)
+                tail_sources = dict(record.sources or {})
+                tail_sources[plan.feed_name] = feed
+                tail_compiled = engine.compile(tail_query, tail_sources)
+                if any(
+                    d.severity == "error" for d in tail_compiled.plan.diagnostics
+                ):
+                    return None
+                staged.append(
+                    (record, tail_query, tail_sources, feed, tail_compiled,
+                     engine.last_signature)
+                )
+            prefix_session = prefix_compiled.open_session(targeted=True)
+        except Exception:
+            # Any compile/rewrite failure falls back to unshared serving.
+            return None
+        feeds: dict[str, SharedFeedSource] = {}
+        origins: dict[str, list] = {}
+        for record, tail_query, tail_sources, feed, tail_compiled, signature in staged:
+            targeted = record.session.targeted
+            record.session.close()
+            record.session = tail_compiled.open_session(targeted=targeted)
+            record.compiled = tail_compiled
+            record.query = tail_query
+            record.sources = tail_sources
+            # The tail signature replaces the full-plan one so the adaptive
+            # loop profiles and recompiles what actually runs per tenant.
+            record.signature = signature
+            record.profile_key = (
+                signature_digest(signature)
+                if self.adaptive and signature is not None
+                else None
+            )
+            record.ticks_since_check = 0
+            feeds[record.client_id] = feed
+            origins[record.client_id] = [
+                source
+                for name, source in tail_sources.items()
+                if name != plan.feed_name and isinstance(source, ReplaySource)
+            ]
+        return SharedPrefixGroup(
+            group_id=f"shared:{signature_digest(plan.fingerprint)}",
+            fingerprint=plan.fingerprint,
+            feed_name=plan.feed_name,
+            prefix_session=prefix_session,
+            prefix_compiled=prefix_compiled,
+            feeds=feeds,
+            member_origins=origins,
+            operator_count=plan.operator_count,
+        )
 
     # -- adaptive recompilation ----------------------------------------------
 

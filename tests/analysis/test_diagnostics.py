@@ -41,6 +41,12 @@ class TestCodeStability:
             "LS301",
             "LS302",
             "LS303",
+            "LS401",
+            "LS402",
+            "LS403",
+            "LS404",
+            "LS405",
+            "LS406",
         ]
 
     def test_every_code_has_a_title(self):

@@ -1,0 +1,207 @@
+"""Resolver tests: builder parity (plan_signature equality) and LS4xx coverage.
+
+The headline contract: an LSQL file resolves to *the same* plan signature
+as the Python builder that writes the equivalent query — so the PlanCache
+shares one compiled template between the two authoring paths — and every
+authoring mistake surfaces as an anchored LS4xx diagnostic, never a
+traceback.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import LifeStreamEngine
+from repro.lang.resolver import compile_text
+from repro.lang.runner import run_resolved, synthesize_sources
+from repro.serve.cache import plan_signature
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def diag(resolved, code):
+    found = [d for d in resolved.diagnostics if d.code == code]
+    assert found, f"expected {code}, got {[d.code for d in resolved.diagnostics]}"
+    return found[0]
+
+
+class TestBuilderParity:
+    """examples/*.lsq compile to the exact signatures of the Python builders."""
+
+    def assert_signatures_match(self, lsq_path, builder_query):
+        resolved = compile_text(lsq_path.read_text(), filename=lsq_path.name)
+        assert resolved.ok, [d.render() for d in resolved.diagnostics]
+        sources = synthesize_sources(resolved.descriptors, duration_seconds=2.0, seed=0)
+        for level in (0, 2):
+            lsql_sig = plan_signature(
+                resolved.query, sources, window_size=10_000, optimization_level=level
+            )
+            builder_sig = plan_signature(
+                builder_query, sources, window_size=10_000, optimization_level=level
+            )
+            assert lsql_sig == builder_sig
+        return resolved
+
+    def test_e2e_matches_lifestream_builder(self):
+        from repro.pipelines.e2e import lifestream_e2e_query
+
+        self.assert_signatures_match(EXAMPLES / "e2e.lsq", lifestream_e2e_query())
+
+    def test_linezero_matches_builder(self):
+        from repro.pipelines.linezero import linezero_query
+
+        self.assert_signatures_match(EXAMPLES / "linezero.lsq", linezero_query())
+
+    def test_e2e_runs_bit_identical_to_builder(self):
+        from repro.pipelines.e2e import lifestream_e2e_query
+
+        resolved = compile_text((EXAMPLES / "e2e.lsq").read_text())
+        sources = synthesize_sources(resolved.descriptors, duration_seconds=2.0, seed=0)
+        engine = LifeStreamEngine(window_size=10_000)
+        via_lsql = engine.run(resolved.query, sources=sources)
+        via_builder = engine.run(lifestream_e2e_query(), sources=sources)
+        assert np.array_equal(via_lsql.times, via_builder.times)
+        assert np.array_equal(via_lsql.values, via_builder.values, equal_nan=True)
+        assert np.array_equal(via_lsql.durations, via_builder.durations)
+
+    def test_run_resolved_emits(self):
+        resolved = compile_text((EXAMPLES / "linezero.lsq").read_text())
+        result = run_resolved(resolved, duration_seconds=2.0, window_size=10_000)
+        assert result.stats.events_ingested > 0
+
+
+class TestSharing:
+    def test_let_is_multicast_one_spec_node(self):
+        resolved = compile_text(
+            "source ecg rate 500hz;\n"
+            "let base = ecg |> aggregate(window=100);\n"
+            "sink s = join(base, base |> shift(offset=10), combine=sub);\n"
+        )
+        assert resolved.ok
+        join_spec = resolved.query.spec
+        left, right_tail = join_spec.inputs
+        # Both join operands reference the *same* aggregate node object —
+        # the textual form of the builders' multicast.
+        assert left is right_tail.inputs[0]
+
+    def test_source_refs_share_one_node(self):
+        resolved = compile_text(
+            "source ecg rate 500hz;\n"
+            "sink s = join(ecg |> shift(offset=2), ecg, combine=sub);\n"
+        )
+        assert resolved.ok
+        left, right = resolved.query.spec.inputs
+        assert left.inputs[0] is right
+
+
+class TestDiagnostics:
+    def test_unknown_name_ls403(self):
+        resolved = compile_text("sink s = nope;", filename="q.lsq")
+        d = diag(resolved, "LS403")
+        assert "nope" in d.message and d.anchor == "q.lsq:1:10"
+        assert resolved.query is None and not resolved.ok
+
+    def test_unknown_operator_ls403_lists_operators(self):
+        resolved = compile_text("source x rate 5hz;\nsink s = x |> frobnicate();")
+        d = diag(resolved, "LS403")
+        assert "frobnicate" in d.message and "transform" in d.message
+
+    def test_unknown_kernel_ls403(self):
+        resolved = compile_text(
+            "source x rate 5hz;\nsink s = x |> transform(window=1s, kernel=warp());"
+        )
+        assert "warp" in diag(resolved, "LS403").message
+
+    def test_bad_argument_ls404(self):
+        resolved = compile_text(
+            "source x rate 5hz;\nsink s = x |> transform(window=1s, krnl=zscore());"
+        )
+        assert "krnl" in diag(resolved, "LS404").message
+
+    def test_missing_required_argument_ls404(self):
+        resolved = compile_text("source x rate 5hz;\nsink s = x |> transform(window=1s);")
+        assert "kernel" in diag(resolved, "LS404").message
+
+    def test_duplicate_argument_ls404(self):
+        resolved = compile_text(
+            "source x rate 5hz;\nsink s = x |> aggregate(100, window=100);"
+        )
+        assert "duplicate" in diag(resolved, "LS404").message
+
+    def test_non_integral_period_ls404(self):
+        resolved = compile_text("source x rate 3hz;\nsink s = x;")
+        assert diag(resolved, "LS404").severity == "error"
+
+    def test_rate_and_period_conflict_ls404(self):
+        resolved = compile_text("source x rate 5hz period 10;\nsink s = x;")
+        assert "exactly one" in diag(resolved, "LS404").message
+
+    def test_hz_used_as_duration_ls404(self):
+        resolved = compile_text("source x rate 5hz;\nsink s = x |> shift(offset=5hz);")
+        assert "rate unit" in diag(resolved, "LS404").message
+
+    def test_overflowing_literal_ls404_not_crash(self):
+        resolved = compile_text("source x period 1e999;\nsink s = x;")
+        assert "finite" in diag(resolved, "LS404").message
+
+    def test_out_of_range_ticks_ls404(self):
+        resolved = compile_text("source x period 9e300s;\nsink s = x;")
+        assert "range" in diag(resolved, "LS404").message
+
+    def test_negative_source_offset_ls404_not_crash(self):
+        resolved = compile_text("source x period 1 offset -1;\nsink s = x;")
+        assert "non-negative" in diag(resolved, "LS404").message
+
+    def test_no_sink_ls405(self):
+        resolved = compile_text("source x rate 5hz;")
+        assert "no sink" in diag(resolved, "LS405").message
+
+    def test_multiple_sinks_ls405(self):
+        resolved = compile_text(
+            "source x rate 5hz;\nsink a = x;\nsink b = x;"
+        )
+        assert "multiple sinks" in diag(resolved, "LS405").message
+
+    def test_duplicate_declaration_ls405(self):
+        resolved = compile_text("source x rate 5hz;\nlet x = x;\nsink s = x;")
+        assert "duplicate" in diag(resolved, "LS405").message
+
+    def test_unused_source_ls406_warning_keeps_ok(self):
+        resolved = compile_text(
+            "source x rate 5hz;\nsource y rate 5hz;\nsink s = x;"
+        )
+        d = diag(resolved, "LS406")
+        assert d.severity == "warning" and "y" in d.message
+        assert resolved.ok and resolved.query is not None
+
+    def test_unused_let_ls406_warning(self):
+        resolved = compile_text(
+            "source x rate 5hz;\nlet unused = x |> shift(offset=1);\nsink s = x;"
+        )
+        assert "unused" in diag(resolved, "LS406").message
+
+    def test_failed_let_does_not_cascade(self):
+        resolved = compile_text(
+            "source x rate 5hz;\n"
+            "let bad = x |> frobnicate();\n"
+            "sink s = bad |> shift(offset=1);\n"
+        )
+        errors = [d for d in resolved.diagnostics if d.severity == "error"]
+        # One LS403 for the bad let; the sink's reference to it stays silent.
+        assert [d.code for d in errors] == ["LS403"]
+
+    def test_failed_source_does_not_cascade(self):
+        resolved = compile_text("source x rate 3hz;\nsink s = x |> shift(offset=1);")
+        errors = [d for d in resolved.diagnostics if d.severity == "error"]
+        assert [d.code for d in errors] == ["LS404"]
+
+    def test_chain_op_at_head_ls404(self):
+        resolved = compile_text("source x rate 5hz;\nsink s = transform(window=1s);")
+        assert "|>" in diag(resolved, "LS404").message
+
+    def test_unknown_combiner_ls403(self):
+        resolved = compile_text(
+            "source x rate 5hz;\nsink s = join(x, x, combine=bogus);"
+        )
+        d = diag(resolved, "LS403")
+        assert "bogus" in d.message and "sub" in d.message

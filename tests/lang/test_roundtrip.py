@@ -1,0 +1,141 @@
+"""Grammar fuzz suite (hypothesis).
+
+Two totality properties anchor the front-end:
+
+* **round trip** — for any well-formed AST, ``parse(format_program(ast))``
+  reproduces the AST exactly (positions excluded via ``compare=False``),
+  so the canonical formatter and the grammar agree on every construct;
+* **byte soup** — arbitrary text *never* raises: it produces LS4xx
+  diagnostics with ``file:line:col`` anchors, and when no error is
+  reported the program resolved to a runnable query.
+
+The strategies mirror the parser's canonical shapes: argument values that
+are names or calls are always wrapped in a :class:`Chain` (the parser's
+``value()`` does the same), chain heads are ``Ref | Call`` only, and
+generated identifiers avoid the three statement keywords.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast import (
+    Arg,
+    Call,
+    Chain,
+    LetDecl,
+    NumberLit,
+    Program,
+    Ref,
+    SinkDecl,
+    SourceDecl,
+    StringLit,
+)
+from repro.lang.formatter import format_program
+from repro.lang.parser import parse
+from repro.lang.resolver import compile_text
+
+# -- strategies -------------------------------------------------------------
+
+_KEYWORDS = {"source", "let", "sink"}
+
+idents = st.from_regex(r"[a-z_][a-z0-9_]{0,7}", fullmatch=True).filter(
+    lambda name: name not in _KEYWORDS
+)
+
+number_lits = st.builds(
+    NumberLit,
+    value=st.one_of(
+        st.integers(-(10**9), 10**9),
+        st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False),
+    ),
+    unit=st.sampled_from([None, "hz", "ms", "s", "min"]),
+)
+
+string_lits = st.builds(StringLit, value=st.text(max_size=12))
+
+refs = st.builds(Ref, name=idents)
+
+
+def calls(values):
+    args = st.builds(Arg, value=values, name=st.none() | idents)
+    return st.builds(Call, name=idents, args=st.lists(args, max_size=3).map(tuple))
+
+
+def chains(values):
+    inner = calls(values)
+    return st.builds(
+        Chain, head=st.one_of(refs, inner), ops=st.lists(inner, max_size=2).map(tuple)
+    )
+
+
+_leaves = st.one_of(number_lits, string_lits)
+# Nested pipelines as argument values (how join operands embed chains).
+values = st.recursive(_leaves, lambda children: chains(children), max_leaves=6)
+
+statements = st.one_of(
+    st.builds(
+        SourceDecl,
+        name=idents,
+        rate=st.none() | number_lits,
+        period=st.none() | number_lits,
+        offset=st.none() | number_lits,
+    ),
+    st.builds(LetDecl, name=idents, chain=chains(values)),
+    st.builds(SinkDecl, name=idents, chain=chains(values)),
+)
+
+programs = st.builds(Program, statements=st.lists(statements, max_size=4).map(tuple))
+
+# Character soup biased toward LSQL-ish fragments so the fuzzer reaches
+# deep parser/resolver paths, not just the tokenizer's error branch.
+_lsqlish = st.text(
+    alphabet=st.sampled_from(sorted(set('source let sink rate period offset join |>(),;=-."#\n\t 0123456789ehzmsin_x'))),
+    max_size=80,
+)
+
+
+# -- properties -------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(programs)
+    def test_format_then_parse_reproduces_ast(self, program):
+        text = format_program(program)
+        result = parse(text)
+        assert result.diagnostics == []
+        assert result.program == program
+
+    @settings(max_examples=100, deadline=None)
+    @given(programs)
+    def test_formatting_is_idempotent(self, program):
+        once = format_program(program)
+        assert format_program(parse(once).program) == once
+
+
+class TestTotality:
+    @settings(max_examples=300, deadline=None)
+    @given(st.one_of(st.text(max_size=60), _lsqlish))
+    def test_any_text_yields_ls4xx_never_raises(self, text):
+        resolved = compile_text(text, filename="fuzz.lsq")
+        for d in resolved.diagnostics:
+            assert d.code.startswith("LS4"), d
+            assert d.check == "lang"
+            assert d.severity in ("error", "warning")
+            file, line, col = d.anchor.rsplit(":", 2)
+            assert file == "fuzz.lsq"
+            assert int(line) >= 1 and int(col) >= 1
+        if resolved.ok:
+            # No errors: the program resolved all the way to a query.
+            assert resolved.query is not None
+
+    @settings(max_examples=150, deadline=None)
+    @given(programs)
+    def test_resolver_is_total_over_well_formed_programs(self, program):
+        # Structurally valid but semantically arbitrary programs (unknown
+        # operators, bad units, duplicate names...) must resolve to
+        # diagnostics, never exceptions.
+        resolved = compile_text(format_program(program))
+        assert resolved.ok == (
+            not any(d.severity == "error" for d in resolved.diagnostics)
+        )
